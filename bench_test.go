@@ -1,0 +1,256 @@
+package vwsdk
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mapping"
+)
+
+// Benchmarks regenerating every table and figure of the paper (DESIGN.md §4
+// maps each to its experiment id). Each iteration recomputes the full
+// artifact, so ns/op measures the cost of the reproduction itself.
+
+func benchExperiment(b *testing.B, f func() (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Table == nil {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I (E1): per-layer SDK/VW-SDK choices and
+// totals on the 512x512 array.
+func BenchmarkTableI(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.TableI(experiments.Array512)
+	})
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (E2): computable channel sizes.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, experiments.Fig4) }
+
+// BenchmarkFig5a regenerates Fig. 5(a) (E3): the worked cycle example.
+func BenchmarkFig5a(b *testing.B) { benchExperiment(b, experiments.Fig5a) }
+
+// BenchmarkFig5b regenerates Fig. 5(b) (E4): square vs rectangular speedup
+// across IFM sizes.
+func BenchmarkFig5b(b *testing.B) { benchExperiment(b, experiments.Fig5b) }
+
+// BenchmarkFig7 regenerates Fig. 7 (E5+E6): tiled channel curves.
+func BenchmarkFig7(b *testing.B) {
+	benchExperiment(b, experiments.Fig7a)
+	benchExperiment(b, experiments.Fig7b)
+}
+
+// BenchmarkFig8a regenerates Fig. 8(a) (E7): per-layer speedups.
+func BenchmarkFig8a(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.Fig8a(experiments.Array512)
+	})
+}
+
+// BenchmarkFig8b regenerates Fig. 8(b) (E8): speedups across the paper's
+// five array sizes.
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, experiments.Fig8b) }
+
+// BenchmarkFig9a regenerates Fig. 9(a) (E9): per-layer utilization.
+func BenchmarkFig9a(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.Fig9a(experiments.Array512)
+	})
+}
+
+// BenchmarkFig9b regenerates Fig. 9(b) (E10): utilization vs array size.
+func BenchmarkFig9b(b *testing.B) { benchExperiment(b, experiments.Fig9b) }
+
+// BenchmarkAblation regenerates the ablation table (E11).
+func BenchmarkAblation(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.Ablation(experiments.Array512)
+	})
+}
+
+// BenchmarkEnergy regenerates the energy table (E12).
+func BenchmarkEnergy(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.Energy(experiments.Array512)
+	})
+}
+
+// BenchmarkFunctionalVerify runs the functional-verification experiment
+// (E13): all four schemes executed on the crossbar simulator and compared
+// against the reference convolution.
+func BenchmarkFunctionalVerify(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.VerifyFunctional(uint64(b.N))
+	})
+}
+
+// BenchmarkSearchVWSDK measures Algorithm 1 itself on representative layers
+// (the optimizer a compiler would run per layer).
+func BenchmarkSearchVWSDK(b *testing.B) {
+	layers := []Layer{
+		{Name: "vgg-conv1", IW: 224, IH: 224, KW: 3, KH: 3, IC: 3, OC: 64},
+		{Name: "vgg-conv5", IW: 56, IH: 56, KW: 3, KH: 3, IC: 128, OC: 256},
+		{Name: "resnet-conv1", IW: 112, IH: 112, KW: 7, KH: 7, IC: 3, OC: 64},
+		{Name: "resnet-conv5", IW: 7, IH: 7, KW: 3, KH: 3, IC: 512, OC: 512},
+	}
+	for _, l := range layers {
+		b.Run(l.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SearchVWSDK(l, experiments.Array512); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchBaselines measures the SDK and SMD baseline searches.
+func BenchmarkSearchBaselines(b *testing.B) {
+	l := Layer{IW: 56, IH: 56, KW: 3, KH: 3, IC: 128, OC: 256}
+	b.Run("sdk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SearchSDK(l, experiments.Array512); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("smd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SearchSMD(l, experiments.Array512); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCrossbarExecute measures the functional simulator: one full layer
+// execution under the VW-SDK mapping for growing layer sizes.
+func BenchmarkCrossbarExecute(b *testing.B) {
+	cases := []Layer{
+		{Name: "8x8x4x8", IW: 8, IH: 8, KW: 3, KH: 3, IC: 4, OC: 8},
+		{Name: "12x12x16x16", IW: 12, IH: 12, KW: 3, KH: 3, IC: 16, OC: 16},
+		{Name: "14x14x64x64", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64},
+	}
+	a := Array{Rows: 256, Cols: 256}
+	for _, l := range cases {
+		b.Run(l.Name, func(b *testing.B) {
+			res, err := core.SearchVWSDK(l, a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ifm := RandFeatureMap(1, l.IC, l.IH, l.IW)
+			w := RandWeights(2, l.OC, l.IC, l.KH, l.KW)
+			b.ReportMetric(float64(res.Best.Cycles), "pim-cycles")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := mapping.Run(res.Best, ifm, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNetworkOptimization measures optimizing every layer of each
+// paper network (the whole-model compile step).
+func BenchmarkNetworkOptimization(b *testing.B) {
+	for _, n := range []Network{VGG13(), ResNet18()} {
+		b.Run(n.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var total int64
+				for _, l := range n.CoreLayers() {
+					res, err := core.SearchVWSDK(l, experiments.Array512)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.Best.Cycles
+				}
+				if total == 0 {
+					b.Fatal("no cycles")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkUtilization measures eq. 9 evaluation including the exact SDK
+// used-cell enumeration.
+func BenchmarkUtilization(b *testing.B) {
+	l := Layer{IW: 56, IH: 56, KW: 3, KH: 3, IC: 128, OC: 256}
+	sdk, err := core.SDK(l, experiments.Array512, Window{W: 4, H: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	vw, err := core.VW(l, experiments.Array512, Window{W: 4, H: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range []Mapping{sdk, vw} {
+		b.Run(fmt.Sprintf("%v-%s", m.Scheme, m.PW), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if u := m.Utilization(); u <= 0 {
+					b.Fatal("bad utilization")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBitslice regenerates the bit-slicing table (E14).
+func BenchmarkBitslice(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.Bitslice(experiments.Array512)
+	})
+}
+
+// BenchmarkChip regenerates the multi-array scheduling table (E15).
+func BenchmarkChip(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.Chip(experiments.Array512)
+	})
+}
+
+// BenchmarkBitSlicedExecution measures the bit-sliced crossbar run against
+// the ideal run on the same mapping.
+func BenchmarkBitSlicedExecution(b *testing.B) {
+	l := Layer{IW: 10, IH: 10, KW: 3, KH: 3, IC: 8, OC: 8}
+	a := Array{Rows: 96, Cols: 64}
+	m, err := VW(l, a, Window{W: 4, H: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ifm := RandFeatureMap(1, l.IC, l.IH, l.IW)
+	w := RandWeights(2, l.OC, l.IC, l.KH, l.KW)
+	b.Run("ideal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := RunOnCrossbar(m, ifm, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("w4c2-a4d2", func(b *testing.B) {
+		p := Precision{WeightBits: 4, CellBits: 2, InputBits: 4, DACBits: 2}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := RunBitSliced(m, p, ifm, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkReuse regenerates the input-reuse table (E17).
+func BenchmarkReuse(b *testing.B) {
+	benchExperiment(b, func() (*experiments.Result, error) {
+		return experiments.Reuse(experiments.Array512)
+	})
+}

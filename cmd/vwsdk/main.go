@@ -1,0 +1,151 @@
+// Command vwsdk is the mapping optimizer CLI: given a convolutional layer
+// (or a whole predefined network) and a PIM array size, it reports the
+// minimum-cycle mapping found by the paper's VW-SDK algorithm next to the
+// im2col, SMD and SDK baselines — the same interface as the paper's released
+// script.
+//
+// Examples:
+//
+//	vwsdk -ifm 14x14 -kernel 3x3 -ic 256 -oc 256 -array 512x512
+//	vwsdk -network ResNet-18 -array 512x512
+//	vwsdk -network VGG-13 -array 256x256 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/chip"
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "vwsdk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("vwsdk", flag.ContinueOnError)
+	var (
+		network = fs.String("network", "", "predefined network (VGG-13, ResNet-18, VGG-16, AlexNet); overrides the layer flags")
+		arraySp = fs.String("array", "512x512", "PIM array size RowsxCols")
+		nArrays = fs.Int("arrays", 1, "number of crossbars on the chip (multi-array makespan)")
+		explain = fs.Bool("explain", false, "print the equation-by-equation derivation (single layer only)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		lf      cliutil.LayerFlags
+	)
+	fs.StringVar(&lf.IFM, "ifm", "14x14", "input feature map size WxH")
+	fs.StringVar(&lf.Kernel, "kernel", "3x3", "kernel size WxH")
+	fs.IntVar(&lf.IC, "ic", 256, "input channels")
+	fs.IntVar(&lf.OC, "oc", 256, "output channels")
+	fs.IntVar(&lf.Stride, "stride", 1, "convolution stride")
+	fs.IntVar(&lf.Pad, "pad", 0, "zero padding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := cliutil.ParseArray(*arraySp)
+	if err != nil {
+		return err
+	}
+
+	var layers []core.Layer
+	title := ""
+	if *network != "" {
+		n, err := model.ByName(*network)
+		if err != nil {
+			return err
+		}
+		layers = n.CoreLayers()
+		title = fmt.Sprintf("%s on a %s PIM array", n.Name, a)
+	} else {
+		l, err := lf.Layer("layer")
+		if err != nil {
+			return err
+		}
+		layers = []core.Layer{l}
+		title = fmt.Sprintf("%s on a %s PIM array", l, a)
+	}
+	if *explain {
+		if len(layers) != 1 {
+			return fmt.Errorf("-explain works on a single layer, not a network")
+		}
+		res, err := core.SearchVWSDK(layers[0], a)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, core.ExplainSearch(res))
+		return nil
+	}
+
+	table := &textplot.Table{
+		Title: title,
+		Header: []string{"layer", "kernel", "im2col", "SMD", "SDK",
+			"VW-SDK window", "VW-SDK cycles", "speedup vs im2col", "util %"},
+	}
+	var tIm, tSMD, tSDK, tVW int64
+	for _, l := range layers {
+		im, err := core.Im2col(l, a)
+		if err != nil {
+			return err
+		}
+		smd, err := core.SearchSMD(l, a)
+		if err != nil {
+			return err
+		}
+		sdk, err := core.SearchSDK(l, a)
+		if err != nil {
+			return err
+		}
+		vw, err := core.SearchVWSDK(l, a)
+		if err != nil {
+			return err
+		}
+		tIm += im.Cycles
+		tSMD += smd.Best.Cycles
+		tSDK += sdk.Best.Cycles
+		tVW += vw.Best.Cycles
+		table.AddRow(l.Name,
+			fmt.Sprintf("%dx%dx%dx%d", l.KW, l.KH, l.IC, l.OC),
+			im.Cycles, smd.Best.Cycles, sdk.Best.Cycles,
+			vw.Best.TileString(), vw.Best.Cycles,
+			fmt.Sprintf("%.2f", vw.SpeedupVsIm2col()),
+			fmt.Sprintf("%.1f", vw.Best.Utilization()))
+	}
+	if len(layers) > 1 {
+		table.AddRow("total", "", tIm, tSMD, tSDK, "", tVW,
+			fmt.Sprintf("%.2f", float64(tIm)/float64(tVW)), "")
+	}
+	if *csv {
+		fmt.Fprint(out, table.CSV())
+		return nil
+	}
+	fmt.Fprint(out, table.String())
+	if *nArrays > 1 {
+		var vwMaps []core.Mapping
+		for _, l := range layers {
+			r, err := core.SearchVWSDK(l, a)
+			if err != nil {
+				return err
+			}
+			vwMaps = append(vwMaps, r.Best)
+		}
+		one, err := chip.ScheduleNetwork(vwMaps, 1)
+		if err != nil {
+			return err
+		}
+		many, err := chip.ScheduleNetwork(vwMaps, *nArrays)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nchip with %d arrays: VW-SDK makespan %d cycles (%.2fx over one array, %d tile programmings)\n",
+			*nArrays, many.Makespan,
+			float64(one.Makespan)/float64(many.Makespan), many.Programs)
+	}
+	return nil
+}

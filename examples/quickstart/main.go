@@ -1,0 +1,57 @@
+// Quickstart: optimize one convolutional layer's weight mapping for a PIM
+// crossbar with VW-SDK and compare it against the im2col, SMD and SDK
+// baselines.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vwsdk "repro"
+)
+
+func main() {
+	// ResNet-18 conv4 from the paper's Table I: 3x3x256x256 on a 14x14
+	// feature map, mapped to a 512x512 PIM array.
+	layer := vwsdk.Layer{
+		Name: "resnet18-conv4",
+		IW:   14, IH: 14,
+		KW: 3, KH: 3,
+		IC: 256, OC: 256,
+	}
+	array := vwsdk.Array{Rows: 512, Cols: 512}
+
+	im2col, err := vwsdk.Im2col(layer, array)
+	if err != nil {
+		log.Fatal(err)
+	}
+	smd, err := vwsdk.SearchSMD(layer, array)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdk, err := vwsdk.SearchSDK(layer, array)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vw, err := vwsdk.SearchVWSDK(layer, array)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("layer %v on array %v\n\n", layer, array)
+	fmt.Printf("%-8s %10s %10s  %s\n", "scheme", "cycles", "speedup", "decision")
+	for _, m := range []vwsdk.Mapping{im2col, smd.Best, sdk.Best, vw.Best} {
+		fmt.Printf("%-8s %10d %9.2fx  window %s, tiles ICt=%d OCt=%d (AR=%d AC=%d)\n",
+			m.Scheme, m.Cycles, m.Speedup(im2col),
+			m.PW, m.ICt, m.OCt, m.AR, m.AC)
+	}
+
+	fmt.Printf("\nVW-SDK found %s: a rectangular 4x3 parallel window computing %d outputs\n",
+		vw.Best.TileString(), vw.Best.Nw())
+	fmt.Printf("per cycle with 42 of 256 channels per row tile — %.2fx faster than im2col\n",
+		vw.SpeedupVsIm2col())
+	fmt.Printf("and %.1f%% average array utilization (im2col: %.1f%%).\n",
+		vw.Best.Utilization(), im2col.Utilization())
+}

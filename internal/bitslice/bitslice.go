@@ -1,0 +1,290 @@
+// Package bitslice extends the mapping cost model and the functional
+// simulator to finite-precision PIM arithmetic (extension E14, DESIGN.md).
+//
+// Real PIM cells store only a few bits, and DACs drive only a few bits per
+// pulse. A W-bit weight is therefore *sliced* across ceil(W/cellBits)
+// columns, and an A-bit input is applied *bit-serially* over
+// ceil(A/dacBits) passes; column outputs are recombined digitally with
+// shifts and adds. Both mechanisms multiply the paper's cycle arithmetic:
+//
+//   - weight slices multiply the column demand, shrinking OCt (eq. 6);
+//   - input passes multiply the computing cycles directly.
+//
+// Numbers are two's-complement: the most significant slice (or input digit)
+// carries a signed coefficient, every other slice an unsigned power-of-two
+// coefficient. Digit decomposition and recombination are exact over the
+// representable range, so the bit-sliced crossbar execution (Run) remains
+// bit-for-bit comparable with the reference convolution.
+package bitslice
+
+import (
+	"fmt"
+
+	"repro/internal/conv"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/pimarray"
+	"repro/internal/tensor"
+)
+
+// Precision describes the finite-precision configuration of an array.
+type Precision struct {
+	// WeightBits is the two's-complement width of weights; weights must
+	// lie in [-2^(WeightBits-1), 2^(WeightBits-1)).
+	WeightBits int
+
+	// CellBits is the number of bits one memory cell stores.
+	CellBits int
+
+	// InputBits is the two's-complement width of inputs.
+	InputBits int
+
+	// DACBits is the number of bits one DAC pulse drives.
+	DACBits int
+}
+
+// Validate reports whether the precision configuration is meaningful.
+func (p Precision) Validate() error {
+	switch {
+	case p.WeightBits < 1 || p.WeightBits > 32:
+		return fmt.Errorf("bitslice: weight bits %d out of [1,32]", p.WeightBits)
+	case p.CellBits < 1 || p.CellBits > p.WeightBits:
+		return fmt.Errorf("bitslice: cell bits %d out of [1,%d]", p.CellBits, p.WeightBits)
+	case p.InputBits < 1 || p.InputBits > 32:
+		return fmt.Errorf("bitslice: input bits %d out of [1,32]", p.InputBits)
+	case p.DACBits < 1 || p.DACBits > p.InputBits:
+		return fmt.Errorf("bitslice: DAC bits %d out of [1,%d]", p.DACBits, p.InputBits)
+	}
+	return nil
+}
+
+// WeightSlices returns the number of columns one logical weight occupies.
+func (p Precision) WeightSlices() int { return ceilDiv(p.WeightBits, p.CellBits) }
+
+// InputPasses returns the number of bit-serial pulses per input.
+func (p Precision) InputPasses() int { return ceilDiv(p.InputBits, p.DACBits) }
+
+// Full returns a degenerate precision with one slice and one pass (ideal
+// full-precision cells), under which costs equal the paper's.
+func Full() Precision {
+	return Precision{WeightBits: 1, CellBits: 1, InputBits: 1, DACBits: 1}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// digits decomposes the two's-complement integer v (within width bits) into
+// ceil(width/digitBits) digits of digitBits each, least significant first.
+// The top digit is the signed remainder; all others are unsigned.
+func digits(v int64, width, digitBits int) []int64 {
+	n := ceilDiv(width, digitBits)
+	out := make([]int64, n)
+	u := v
+	for j := 0; j < n-1; j++ {
+		mask := int64(1)<<uint(digitBits) - 1
+		out[j] = u & mask
+		u >>= uint(digitBits)
+	}
+	out[n-1] = u // signed top digit (arithmetic shift kept the sign)
+	return out
+}
+
+// coefficient returns the recombination weight of digit j.
+func coefficient(j, digitBits int) int64 {
+	return int64(1) << uint(j*digitBits)
+}
+
+// recombine is the inverse of digits; exported logic kept internal but
+// exercised directly by tests.
+func recombine(ds []int64, digitBits int) int64 {
+	var v int64
+	for j, d := range ds {
+		v += d * coefficient(j, digitBits)
+	}
+	return v
+}
+
+// Cost reproduces the paper's cycle arithmetic under precision p for a
+// VW-SDK window on layer l: weight slices scale the column demand in eq. 6
+// and input passes scale the final count.
+//
+//	OCt = floor(Cols / (Nw × slices)),  cycles = N_PW × AR × AC × passes
+//
+// It returns the adjusted mapping (OCt/AC/Cycles updated) — the spatial
+// (column-expanded) realization of bit slicing.
+func Cost(l core.Layer, a core.Array, pw core.Window, p Precision) (core.Mapping, error) {
+	if err := p.Validate(); err != nil {
+		return core.Mapping{}, err
+	}
+	slices := p.WeightSlices()
+	// Cost the window against a virtually narrowed array: each logical
+	// column costs `slices` physical columns.
+	narrowed := core.Array{Rows: a.Rows, Cols: a.Cols / slices}
+	if narrowed.Cols < 1 {
+		return core.Mapping{}, fmt.Errorf("bitslice: %d slices exceed %d array columns: %w",
+			slices, a.Cols, core.ErrInfeasible)
+	}
+	m, err := core.VW(l, narrowed, pw)
+	if err != nil {
+		return core.Mapping{}, err
+	}
+	m.Array = a
+	m.Cycles *= int64(p.InputPasses())
+	return m, nil
+}
+
+// Search runs Algorithm 1 under precision p: the optimal window can change
+// when slices eat into the column budget. With Full() precision it returns
+// exactly core.SearchVWSDK's choice.
+func Search(l core.Layer, a core.Array, p Precision) (core.Result, error) {
+	if err := p.Validate(); err != nil {
+		return core.Result{}, err
+	}
+	l = l.Normalized()
+	slices := p.WeightSlices()
+	passes := int64(p.InputPasses())
+	narrowed := core.Array{Rows: a.Rows, Cols: a.Cols / slices}
+	if narrowed.Cols < 1 {
+		return core.Result{}, fmt.Errorf("bitslice: %d slices exceed %d array columns: %w",
+			slices, a.Cols, core.ErrInfeasible)
+	}
+	res, err := core.SearchVWSDK(l, narrowed)
+	if err != nil {
+		return core.Result{}, err
+	}
+	res.Best.Array = a
+	res.Best.Cycles *= passes
+	res.Im2col.Array = a
+	res.Im2col.Cycles *= passes
+	return res, nil
+}
+
+// Run executes mapping m on a simulated crossbar with bit-sliced arithmetic
+// and returns the recombined output feature map. Weights and inputs must be
+// integers within the precision's two's-complement ranges (Quantize clamps
+// a tensor into range).
+//
+// Run realizes slicing by time multiplexing: each weight slice is
+// programmed and swept in turn, and each input pass drives one digit of the
+// inputs, so the observed cycle count is base cycles × slices × passes —
+// the temporal dual of Cost's column expansion (both are real designs; see
+// package comment).
+func Run(m core.Mapping, p Precision, ifm *tensor.Tensor3, w *tensor.Tensor4) (*tensor.Tensor3, pimarray.Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, pimarray.Stats{}, err
+	}
+	l := m.Layer.Normalized()
+	if err := conv.CheckShapes(l, ifm, w); err != nil {
+		return nil, pimarray.Stats{}, err
+	}
+	if err := checkRange(ifm.Data, p.InputBits, "input"); err != nil {
+		return nil, pimarray.Stats{}, err
+	}
+	if err := checkRange(w.Data, p.WeightBits, "weight"); err != nil {
+		return nil, pimarray.Stats{}, err
+	}
+	plan, err := mapping.NewPlan(m)
+	if err != nil {
+		return nil, pimarray.Stats{}, err
+	}
+	arr, err := pimarray.New(m.Array.Rows, m.Array.Cols)
+	if err != nil {
+		return nil, pimarray.Stats{}, err
+	}
+	slices := p.WeightSlices()
+	passes := p.InputPasses()
+	padded := ifm.Pad(l.PadH, l.PadW)
+	out := tensor.NewTensor3(l.OC, l.OutH(), l.OutW())
+
+	for _, t := range plan.Tiles {
+		ideal := plan.WeightTile(w, t)
+		for s := 0; s < slices; s++ {
+			slice := weightSliceMatrix(ideal, s, p)
+			if err := arr.Program(slice); err != nil {
+				return nil, pimarray.Stats{}, err
+			}
+			wCoef := float64(coefficient(s, p.CellBits))
+			for _, pos := range plan.Positions {
+				in := plan.InputVector(padded, t, pos)
+				acc := make([]float64, slice.Cols)
+				for k := 0; k < passes; k++ {
+					pulse := inputDigitVector(in, k, p)
+					res, err := arr.Compute(pulse)
+					if err != nil {
+						return nil, pimarray.Stats{}, err
+					}
+					aCoef := float64(coefficient(k, p.DACBits))
+					for c, v := range res {
+						acc[c] += aCoef * v
+					}
+				}
+				for c := range acc {
+					acc[c] *= wCoef
+				}
+				plan.Scatter(out, t, pos, acc)
+			}
+		}
+	}
+	return out, arr.Stats(), nil
+}
+
+// weightSliceMatrix extracts digit s of every cell of the ideal tile.
+func weightSliceMatrix(ideal *tensor.Matrix, s int, p Precision) *tensor.Matrix {
+	out := tensor.NewMatrix(ideal.Rows, ideal.Cols)
+	for i, v := range ideal.Data {
+		ds := digits(int64(v), p.WeightBits, p.CellBits)
+		if s < len(ds) {
+			out.Data[i] = float64(ds[s])
+		}
+	}
+	return out
+}
+
+// inputDigitVector extracts digit k of every input element.
+func inputDigitVector(in []float64, k int, p Precision) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		ds := digits(int64(v), p.InputBits, p.DACBits)
+		if k < len(ds) {
+			out[i] = float64(ds[k])
+		}
+	}
+	return out
+}
+
+// checkRange verifies every value is an integer within the signed width.
+func checkRange(data []float64, bits int, what string) error {
+	lo := -(int64(1) << uint(bits-1))
+	hi := int64(1)<<uint(bits-1) - 1
+	for i, v := range data {
+		iv := int64(v)
+		if float64(iv) != v || iv < lo || iv > hi {
+			return fmt.Errorf("bitslice: %s[%d] = %v outside %d-bit range [%d,%d]",
+				what, i, v, bits, lo, hi)
+		}
+	}
+	return nil
+}
+
+// Quantize clamps and rounds every element of data into the signed range of
+// the given width, in place.
+func Quantize(data []float64, bits int) {
+	lo := float64(-(int64(1) << uint(bits-1)))
+	hi := float64(int64(1)<<uint(bits-1) - 1)
+	for i, v := range data {
+		q := float64(int64(v + 0.5*sign(v)))
+		if q < lo {
+			q = lo
+		}
+		if q > hi {
+			q = hi
+		}
+		data[i] = q
+	}
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,262 @@
+package bitslice
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/conv"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+func TestPrecisionValidate(t *testing.T) {
+	good := Precision{WeightBits: 8, CellBits: 2, InputBits: 8, DACBits: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Precision{
+		{WeightBits: 0, CellBits: 1, InputBits: 8, DACBits: 1},
+		{WeightBits: 8, CellBits: 0, InputBits: 8, DACBits: 1},
+		{WeightBits: 8, CellBits: 9, InputBits: 8, DACBits: 1},
+		{WeightBits: 8, CellBits: 2, InputBits: 0, DACBits: 1},
+		{WeightBits: 8, CellBits: 2, InputBits: 8, DACBits: 9},
+		{WeightBits: 33, CellBits: 2, InputBits: 8, DACBits: 1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%+v accepted", p)
+		}
+	}
+}
+
+func TestSliceAndPassCounts(t *testing.T) {
+	p := Precision{WeightBits: 8, CellBits: 2, InputBits: 6, DACBits: 4}
+	if p.WeightSlices() != 4 {
+		t.Errorf("slices = %d, want 4", p.WeightSlices())
+	}
+	if p.InputPasses() != 2 {
+		t.Errorf("passes = %d, want 2", p.InputPasses())
+	}
+	if Full().WeightSlices() != 1 || Full().InputPasses() != 1 {
+		t.Error("Full precision should be 1 slice, 1 pass")
+	}
+}
+
+// TestDigitsRoundTrip: digits/recombine invert each other over the full
+// representable range for several widths.
+func TestDigitsRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ width, db int }{
+		{4, 1}, {4, 2}, {4, 3}, {8, 2}, {8, 3}, {8, 8}, {6, 4},
+	} {
+		lo := -(int64(1) << uint(cfg.width-1))
+		hi := int64(1)<<uint(cfg.width-1) - 1
+		for v := lo; v <= hi; v++ {
+			ds := digits(v, cfg.width, cfg.db)
+			if got := recombine(ds, cfg.db); got != v {
+				t.Fatalf("width %d digitBits %d: recombine(digits(%d)) = %d",
+					cfg.width, cfg.db, v, got)
+			}
+			// Non-top digits are unsigned digitBits values.
+			for j := 0; j < len(ds)-1; j++ {
+				if ds[j] < 0 || ds[j] >= int64(1)<<uint(cfg.db) {
+					t.Fatalf("digit %d of %d out of range: %d", j, v, ds[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRunExactVsReference: the bit-sliced crossbar execution equals the
+// reference convolution exactly for in-range integer tensors.
+func TestRunExactVsReference(t *testing.T) {
+	l := core.Layer{IW: 9, IH: 8, KW: 3, KH: 3, IC: 4, OC: 6}
+	a := core.Array{Rows: 64, Cols: 48}
+	m, err := core.VW(l, a, core.Window{W: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RandTensor fills are in [-4,4]: 4-bit range.
+	p := Precision{WeightBits: 4, CellBits: 2, InputBits: 4, DACBits: 1}
+	ifm := tensor.RandTensor3(3, l.IC, l.IH, l.IW)
+	w := tensor.RandTensor4(4, l.OC, l.IC, l.KH, l.KW)
+	want, err := conv.Reference(l, ifm, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Run(m, p, ifm, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("bit-sliced output differs (max |diff| %g)", got.MaxAbsDiff(want))
+	}
+	// Time-multiplexed realization: base cycles × slices × passes.
+	wantCycles := m.Cycles * int64(p.WeightSlices()) * int64(p.InputPasses())
+	if stats.Cycles != wantCycles {
+		t.Fatalf("cycles = %d, want %d", stats.Cycles, wantCycles)
+	}
+}
+
+// TestRunExactProperty extends the exactness check across schemes,
+// precisions and layer shapes.
+func TestRunExactProperty(t *testing.T) {
+	f := func(seed uint64, iw, ic, oc, cb, db uint8) bool {
+		l := core.Layer{
+			IW: int(iw%6) + 5, IH: int(iw%6) + 5,
+			KW: 3, KH: 3, IC: int(ic%4) + 1, OC: int(oc%4) + 1,
+		}
+		a := core.Array{Rows: 48, Cols: 32}
+		p := Precision{
+			WeightBits: 4, CellBits: int(cb%4) + 1,
+			InputBits: 4, DACBits: int(db%4) + 1,
+		}
+		m, err := core.VW(l, a, core.Window{W: 4, H: 3})
+		if err != nil {
+			return true
+		}
+		ifm := tensor.RandTensor3(seed, l.IC, l.IH, l.IW)
+		w := tensor.RandTensor4(seed^7, l.OC, l.IC, l.KH, l.KW)
+		want, err := conv.Reference(l, ifm, w)
+		if err != nil {
+			return false
+		}
+		got, _, err := Run(m, p, ifm, w)
+		if err != nil {
+			return false
+		}
+		return got.Equal(want)
+	}
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRangeChecks(t *testing.T) {
+	l := core.Layer{IW: 6, IH: 6, KW: 3, KH: 3, IC: 1, OC: 1}
+	a := core.Array{Rows: 32, Cols: 16}
+	m, err := core.VW(l, a, core.Window{W: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Precision{WeightBits: 2, CellBits: 1, InputBits: 2, DACBits: 1}
+	// [-4,4] fills exceed a 2-bit range: must be rejected.
+	ifm := tensor.RandTensor3(1, 1, 6, 6)
+	w := tensor.RandTensor4(2, 1, 1, 3, 3)
+	if _, _, err := Run(m, p, ifm, w); err == nil {
+		t.Fatal("out-of-range values accepted")
+	}
+	Quantize(ifm.Data, 2)
+	Quantize(w.Data, 2)
+	if _, _, err := Run(m, p, ifm, w); err != nil {
+		t.Fatalf("quantized run failed: %v", err)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	data := []float64{-9, -2.6, -0.4, 0, 0.4, 2.6, 9}
+	Quantize(data, 3) // range [-4, 3]
+	want := []float64{-4, -3, 0, 0, 0, 3, 3}
+	for i := range data {
+		if data[i] != want[i] {
+			t.Errorf("Quantize[%d] = %v, want %v", i, data[i], want[i])
+		}
+	}
+}
+
+func TestCostScalesColumnsAndCycles(t *testing.T) {
+	l := core.Layer{IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	a := core.Array{Rows: 512, Cols: 512}
+	pw := core.Window{W: 4, H: 3}
+	base, err := core.VW(l, a, pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-bit weights in 2-bit cells: 4 slices; 8-bit inputs, 1-bit DAC: 8
+	// passes. OCt shrinks from 256 to floor(512/(2*4)) = 64 -> AC = 4.
+	p := Precision{WeightBits: 8, CellBits: 2, InputBits: 8, DACBits: 1}
+	m, err := Cost(l, a, pw, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OCt != 64 || m.AC != 4 {
+		t.Errorf("OCt,AC = %d,%d, want 64,4", m.OCt, m.AC)
+	}
+	wantCycles := int64(base.NPW) * int64(base.AR) * 4 * 8
+	if m.Cycles != wantCycles {
+		t.Errorf("cycles = %d, want %d", m.Cycles, wantCycles)
+	}
+	// Full precision reproduces the base cost exactly.
+	f, err := Cost(l, a, pw, Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Cycles != base.Cycles || f.OCt != base.OCt {
+		t.Errorf("Full() cost differs from base: %v vs %v", f, base)
+	}
+	// Too many slices for the array must be infeasible.
+	if _, err := Cost(l, core.Array{Rows: 512, Cols: 4},
+		pw, Precision{WeightBits: 8, CellBits: 1, InputBits: 1, DACBits: 1}); !errors.Is(err, core.ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSearchUnderPrecision(t *testing.T) {
+	l := core.Layer{IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	a := core.Array{Rows: 512, Cols: 512}
+	full, err := Search(l, a, Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.SearchVWSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Best.Cycles != base.Best.Cycles || full.Best.PW != base.Best.PW {
+		t.Errorf("Full() search differs from base: %v vs %v", full.Best, base.Best)
+	}
+	p := Precision{WeightBits: 8, CellBits: 2, InputBits: 8, DACBits: 2}
+	sliced, err := Search(l, a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced.Best.Cycles <= base.Best.Cycles {
+		t.Errorf("sliced cycles %d should exceed base %d", sliced.Best.Cycles, base.Best.Cycles)
+	}
+	// The window choice may change under slicing, but never below the
+	// sliced im2col bound.
+	if sliced.Best.Cycles > sliced.Im2col.Cycles {
+		t.Errorf("search result %d worse than its im2col %d",
+			sliced.Best.Cycles, sliced.Im2col.Cycles)
+	}
+	if _, err := Search(l, a, Precision{}); err == nil {
+		t.Error("invalid precision accepted")
+	}
+}
+
+// TestMorePrecisionNeverFaster: cycles are monotone non-decreasing in both
+// slice count and pass count.
+func TestMorePrecisionNeverFaster(t *testing.T) {
+	l := core.Layer{IW: 28, IH: 28, KW: 3, KH: 3, IC: 128, OC: 128}
+	a := core.Array{Rows: 512, Cols: 512}
+	prev := int64(0)
+	for _, p := range []Precision{
+		{WeightBits: 2, CellBits: 2, InputBits: 2, DACBits: 2},
+		{WeightBits: 4, CellBits: 2, InputBits: 4, DACBits: 2},
+		{WeightBits: 8, CellBits: 2, InputBits: 8, DACBits: 2},
+		{WeightBits: 8, CellBits: 1, InputBits: 8, DACBits: 1},
+	} {
+		r, err := Search(l, a, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Best.Cycles < prev {
+			t.Errorf("%+v: cycles %d dropped below %d", p, r.Best.Cycles, prev)
+		}
+		prev = r.Best.Cycles
+	}
+}

@@ -1,0 +1,87 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// command-line tools in cmd/.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParseSize parses "WxH" (e.g. "512x256") or a single integer "512"
+// (meaning a square) into width and height.
+func ParseSize(s string) (w, h int, err error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, 0, fmt.Errorf("cliutil: empty size")
+	}
+	parts := strings.Split(strings.ToLower(s), "x")
+	switch len(parts) {
+	case 1:
+		w, err = strconv.Atoi(parts[0])
+		if err != nil {
+			return 0, 0, fmt.Errorf("cliutil: bad size %q: %w", s, err)
+		}
+		return w, w, nil
+	case 2:
+		w, err = strconv.Atoi(parts[0])
+		if err != nil {
+			return 0, 0, fmt.Errorf("cliutil: bad size %q: %w", s, err)
+		}
+		h, err = strconv.Atoi(parts[1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("cliutil: bad size %q: %w", s, err)
+		}
+		return w, h, nil
+	default:
+		return 0, 0, fmt.Errorf("cliutil: bad size %q (want WxH)", s)
+	}
+}
+
+// ParseArray parses "RowsxCols" (or a square "512") into a core.Array.
+func ParseArray(s string) (core.Array, error) {
+	r, c, err := ParseSize(s)
+	if err != nil {
+		return core.Array{}, err
+	}
+	a := core.Array{Rows: r, Cols: c}
+	if err := a.Validate(); err != nil {
+		return core.Array{}, err
+	}
+	return a, nil
+}
+
+// LayerFlags collects the per-layer flag values the tools share.
+type LayerFlags struct {
+	IFM    string
+	Kernel string
+	IC, OC int
+	Stride int
+	Pad    int
+}
+
+// Layer converts the flag values into a validated core.Layer.
+func (f LayerFlags) Layer(name string) (core.Layer, error) {
+	iw, ih, err := ParseSize(f.IFM)
+	if err != nil {
+		return core.Layer{}, fmt.Errorf("-ifm: %w", err)
+	}
+	kw, kh, err := ParseSize(f.Kernel)
+	if err != nil {
+		return core.Layer{}, fmt.Errorf("-kernel: %w", err)
+	}
+	l := core.Layer{
+		Name: name,
+		IW:   iw, IH: ih, KW: kw, KH: kh,
+		IC: f.IC, OC: f.OC,
+		StrideW: f.Stride, StrideH: f.Stride,
+		PadW: f.Pad, PadH: f.Pad,
+	}
+	l = l.Normalized()
+	if err := l.Validate(); err != nil {
+		return core.Layer{}, err
+	}
+	return l, nil
+}

@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		in     string
+		w, h   int
+		wantOK bool
+	}{
+		{"512x256", 512, 256, true},
+		{"512", 512, 512, true},
+		{" 14x14 ", 14, 14, true},
+		{"8X4", 8, 4, true},
+		{"", 0, 0, false},
+		{"axb", 0, 0, false},
+		{"1x2x3", 0, 0, false},
+		{"12x", 0, 0, false},
+	}
+	for _, tt := range tests {
+		w, h, err := ParseSize(tt.in)
+		if tt.wantOK != (err == nil) {
+			t.Errorf("ParseSize(%q) err = %v, wantOK %v", tt.in, err, tt.wantOK)
+			continue
+		}
+		if err == nil && (w != tt.w || h != tt.h) {
+			t.Errorf("ParseSize(%q) = %d,%d, want %d,%d", tt.in, w, h, tt.w, tt.h)
+		}
+	}
+}
+
+func TestParseArray(t *testing.T) {
+	a, err := ParseArray("512x256")
+	if err != nil || a != (core.Array{Rows: 512, Cols: 256}) {
+		t.Fatalf("ParseArray = %v, %v", a, err)
+	}
+	if _, err := ParseArray("0x4"); err == nil {
+		t.Error("zero rows accepted")
+	}
+	if _, err := ParseArray("bogus"); err == nil {
+		t.Error("bogus accepted")
+	}
+}
+
+func TestLayerFlags(t *testing.T) {
+	f := LayerFlags{IFM: "14x14", Kernel: "3x3", IC: 256, OC: 256}
+	l, err := f.Layer("conv4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.StrideW != 1 || l.IW != 14 || l.KW != 3 || l.IC != 256 {
+		t.Errorf("layer = %v", l)
+	}
+	f.Stride = 2
+	f.Pad = 1
+	l, err = f.Layer("strided")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.StrideH != 2 || l.PadW != 1 {
+		t.Errorf("layer = %v", l)
+	}
+	bad := LayerFlags{IFM: "x", Kernel: "3x3", IC: 1, OC: 1}
+	if _, err := bad.Layer("b"); err == nil {
+		t.Error("bad IFM accepted")
+	}
+	bad = LayerFlags{IFM: "8x8", Kernel: "q", IC: 1, OC: 1}
+	if _, err := bad.Layer("b"); err == nil {
+		t.Error("bad kernel accepted")
+	}
+	bad = LayerFlags{IFM: "8x8", Kernel: "3x3", IC: 0, OC: 1}
+	if _, err := bad.Layer("b"); err == nil {
+		t.Error("zero IC accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package core
+
+import "fmt"
+
+// Scheme identifies a convolutional weight-mapping scheme.
+type Scheme int
+
+// The four mapping schemes modelled by the paper.
+const (
+	// SchemeIm2col unrolls each kernel into one column and processes one
+	// window per cycle (Fig. 2a).
+	SchemeIm2col Scheme = iota
+	// SchemeSMD duplicates the whole kernel matrix block-diagonally so
+	// several independent windows are processed per cycle (Fig. 2b).
+	SchemeSMD
+	// SchemeSDK shifts and duplicates kernels over a square parallel
+	// window holding the entire channels (Fig. 2c).
+	SchemeSDK
+	// SchemeVWSDK is the paper's contribution: rectangular parallel
+	// windows with channel tiling (Fig. 2d).
+	SchemeVWSDK
+)
+
+// String returns the scheme name used throughout the paper.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeIm2col:
+		return "im2col"
+	case SchemeSMD:
+		return "SMD"
+	case SchemeSDK:
+		return "SDK"
+	case SchemeVWSDK:
+		return "VW-SDK"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Mapping is the result of costing one mapping decision: a scheme plus its
+// parallel window / duplication / channel-tiling parameters, together with
+// the derived cycle counts of eqs. 2–8.
+//
+// A Mapping is immutable once constructed; use the constructors Im2col, SMD,
+// SDK and VW (or the Search functions) to obtain one.
+type Mapping struct {
+	// Layer and Array are the normalized inputs the mapping was costed for.
+	Layer Layer
+	Array Array
+
+	// Scheme identifies how weights are laid out.
+	Scheme Scheme
+
+	// PW is the parallel window. For im2col and SMD it equals the kernel.
+	PW Window
+
+	// NwW and NwH are the number of kernel placements inside PW along each
+	// axis; Nw = NwW × NwH is the paper's N_WP (windows per parallel window).
+	NwW, NwH int
+
+	// Dup is the SMD duplication factor (independent kernel-matrix copies);
+	// 1 for every other scheme.
+	Dup int
+
+	// ICt is the number of input channels mapped per array-row tile
+	// (eq. 4). For row-granular schemes (im2col, SDK) it is the full IC:
+	// rows are split without channel alignment and RowGranular is true.
+	ICt int
+
+	// OCt is the number of output channels computed per array-column tile
+	// (eq. 6). For column-granular schemes (SDK) it is the full OC and
+	// ColGranular is true.
+	OCt int
+
+	// RowGranular records that AR was computed as ceil(totalRows/Rows)
+	// (splitting mid-channel), as im2col and the SDK baseline do, rather
+	// than channel-granularly via ICt (eq. 5).
+	RowGranular bool
+
+	// ColGranular records that AC was computed as ceil(totalCols/Cols)
+	// (splitting a parallel window's outputs across column cycles), as the
+	// SDK baseline does, rather than via OCt (eq. 7).
+	ColGranular bool
+
+	// NPW is the number of parallel-window positions over the IFM (eq. 3);
+	// for SMD it is the number of window *groups*, ceil(windows/Dup).
+	NPW int
+
+	// AR and AC are the array-row and array-column cycle multipliers
+	// (eqs. 5 and 7).
+	AR, AC int
+
+	// Cycles is NPW × AR × AC (eq. 2/8).
+	Cycles int64
+}
+
+// Nw returns the number of windows sharing one parallel window (N_WP).
+func (m Mapping) Nw() int { return m.NwW * m.NwH }
+
+// finish derives NPW, Cycles and validates tile counts. It assumes PW, NwW,
+// NwH, ICt, OCt, AR and AC are already set.
+func (m Mapping) finish() Mapping {
+	l := m.Layer
+	nppwW := ceilDiv(l.OutW(), m.NwW)
+	nppwH := ceilDiv(l.OutH(), m.NwH)
+	m.NPW = nppwW * nppwH
+	if m.Scheme == SchemeSMD {
+		m.NPW = ceilDiv(l.Windows(), m.Dup)
+	}
+	m.Cycles = int64(m.NPW) * int64(m.AR) * int64(m.AC)
+	return m
+}
+
+// Im2col returns the cost of the im2col mapping (Fig. 2a): one kernel per
+// column, one window per cycle, with row-granular AR = ceil(K·K·IC/Rows) and
+// AC = ceil(OC/Cols) tiling when the array is too small (eq. 1 with N_WP=1).
+func Im2col(l Layer, a Array) (Mapping, error) {
+	l = l.Normalized()
+	if err := l.Validate(); err != nil {
+		return Mapping{}, err
+	}
+	if err := a.Validate(); err != nil {
+		return Mapping{}, err
+	}
+	m := Mapping{
+		Layer:       l,
+		Array:       a,
+		Scheme:      SchemeIm2col,
+		PW:          l.Kernel(),
+		NwW:         1,
+		NwH:         1,
+		Dup:         1,
+		ICt:         l.IC,
+		OCt:         min(l.OC, a.Cols),
+		RowGranular: true,
+		AR:          ceilDiv(l.KernelRows(), a.Rows),
+		AC:          ceilDiv(l.OC, a.Cols),
+	}
+	return m.finish(), nil
+}
+
+// SMD returns the cost of sub-matrix duplication (Fig. 2b) with the given
+// duplication factor dup ≥ 1: dup block-diagonal copies of the full kernel
+// matrix compute dup independent windows per cycle. For dup > 1 the whole
+// block-diagonal matrix must fit the array; SMD returns a wrapped
+// ErrInfeasible otherwise. dup == 1 degenerates to im2col tiling.
+func SMD(l Layer, a Array, dup int) (Mapping, error) {
+	l = l.Normalized()
+	if err := l.Validate(); err != nil {
+		return Mapping{}, err
+	}
+	if err := a.Validate(); err != nil {
+		return Mapping{}, err
+	}
+	if dup < 1 {
+		return Mapping{}, fmt.Errorf("core: SMD duplication %d: %w", dup, ErrInfeasible)
+	}
+	m, err := Im2col(l, a)
+	if err != nil {
+		return Mapping{}, err
+	}
+	m.Scheme = SchemeSMD
+	m.Dup = dup
+	if dup > 1 {
+		if dup*l.KernelRows() > a.Rows || dup*l.OC > a.Cols {
+			return Mapping{}, fmt.Errorf("core: SMD duplication %d exceeds array %s for %s: %w",
+				dup, a, l.Name, ErrInfeasible)
+		}
+		m.AR, m.AC = 1, 1
+		m.OCt = l.OC
+	}
+	return m.finish(), nil
+}
+
+// SDK returns the cost of the baseline shifted-and-duplicated-kernel mapping
+// (Fig. 2c, [Zhang TCAD'20]) for a given square parallel window pw holding
+// the entire input channels. Per the paper's eq. 1, AR is row-granular
+// (ceil(PW·PW·IC/Rows)) and AC is column-granular (ceil(Nw·OC/Cols)).
+//
+// SDK does not apply the baseline algorithm's feasibility rule; SearchSDK
+// does. pw must be at least the kernel and at most the padded IFM.
+func SDK(l Layer, a Array, pw Window) (Mapping, error) {
+	l = l.Normalized()
+	if err := checkWindow(l, a, pw); err != nil {
+		return Mapping{}, err
+	}
+	nwW := windowsInside(pw.W, l.KW, l.StrideW)
+	nwH := windowsInside(pw.H, l.KH, l.StrideH)
+	m := Mapping{
+		Layer:       l,
+		Array:       a,
+		Scheme:      SchemeSDK,
+		PW:          pw,
+		NwW:         nwW,
+		NwH:         nwH,
+		Dup:         1,
+		ICt:         l.IC,
+		OCt:         l.OC,
+		RowGranular: true,
+		ColGranular: true,
+		AR:          ceilDiv(pw.Area()*l.IC, a.Rows),
+		AC:          ceilDiv(nwW*nwH*l.OC, a.Cols),
+	}
+	return m.finish(), nil
+}
+
+// VW returns the cost of the paper's variable-window SDK mapping for a given
+// (possibly rectangular) parallel window pw, applying channel tiling:
+//
+//	ICt = floor(Rows/(PWw·PWh))   (eq. 4), AR = ceil(IC/ICt)  (eq. 5)
+//	OCt = floor(Cols/Nw)          (eq. 6), AC = ceil(OC/OCt)  (eq. 7)
+//
+// ICt and OCt are capped at IC and OC. VW returns a wrapped ErrInfeasible
+// when not even one channel of the window fits the rows (ICt = 0) or one
+// parallel window's outputs exceed the columns (OCt = 0).
+//
+// Note that for pw equal to the kernel, VW costs channel-granular row tiling,
+// which can exceed im2col's row-granular count; Algorithm 1 (SearchVWSDK)
+// therefore seeds its minimum with Im2col, per the paper.
+func VW(l Layer, a Array, pw Window) (Mapping, error) {
+	l = l.Normalized()
+	if err := checkWindow(l, a, pw); err != nil {
+		return Mapping{}, err
+	}
+	nwW := windowsInside(pw.W, l.KW, l.StrideW)
+	nwH := windowsInside(pw.H, l.KH, l.StrideH)
+	ict := a.Rows / pw.Area()
+	oct := a.Cols / (nwW * nwH)
+	if ict < 1 {
+		return Mapping{}, fmt.Errorf("core: window %s needs %d rows/channel, array %s: %w",
+			pw, pw.Area(), a, ErrInfeasible)
+	}
+	if oct < 1 {
+		return Mapping{}, fmt.Errorf("core: window %s has %d windows, array %s columns: %w",
+			pw, nwW*nwH, a, ErrInfeasible)
+	}
+	ict = min(ict, l.IC)
+	oct = min(oct, l.OC)
+	m := Mapping{
+		Layer:  l,
+		Array:  a,
+		Scheme: SchemeVWSDK,
+		PW:     pw,
+		NwW:    nwW,
+		NwH:    nwH,
+		Dup:    1,
+		ICt:    ict,
+		OCt:    oct,
+		AR:     ceilDiv(l.IC, ict),
+		AC:     ceilDiv(l.OC, oct),
+	}
+	return m.finish(), nil
+}
+
+// checkWindow validates layer, array and that the parallel window covers the
+// kernel, fits the padded IFM, and aligns with the stride grid.
+func checkWindow(l Layer, a Array, pw Window) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	if pw.W < l.KW || pw.H < l.KH {
+		return fmt.Errorf("core: parallel window %s smaller than kernel %s", pw, l.Kernel())
+	}
+	if pw.W > l.PaddedW() || pw.H > l.PaddedH() {
+		return fmt.Errorf("core: parallel window %s exceeds padded IFM %dx%d",
+			pw, l.PaddedW(), l.PaddedH())
+	}
+	return nil
+}
+
+// Speedup returns the ratio of the baseline's cycles to m's cycles; >1 means
+// m is faster. It returns 0 when m has zero cycles (degenerate).
+func (m Mapping) Speedup(baseline Mapping) float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(m.Cycles)
+}
+
+// TileString renders the mapping in the paper's Table I notation:
+// "PWwxPWh x ICt x OCt", e.g. "4x3x42x256".
+func (m Mapping) TileString() string {
+	return fmt.Sprintf("%dx%dx%dx%d", m.PW.W, m.PW.H, m.ICt, m.OCt)
+}
+
+// String summarizes the mapping for logs and reports.
+func (m Mapping) String() string {
+	return fmt.Sprintf("%s pw=%s ict=%d oct=%d npw=%d ar=%d ac=%d cycles=%d",
+		m.Scheme, m.PW, m.ICt, m.OCt, m.NPW, m.AR, m.AC, m.Cycles)
+}

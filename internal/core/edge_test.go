@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestAlexNetConv1Strided pins the cost model on the classic strided layer:
+// AlexNet conv1, 11x11 stride 4 over a 227x227 IFM (55x55 outputs).
+func TestAlexNetConv1Strided(t *testing.T) {
+	l := Layer{Name: "alex-conv1", IW: 227, IH: 227, KW: 11, KH: 11,
+		IC: 3, OC: 96, StrideW: 4, StrideH: 4}
+	if l.OutW() != 55 || l.Windows() != 3025 {
+		t.Fatalf("geometry: out=%d windows=%d", l.OutW(), l.Windows())
+	}
+	im, err := Im2col(l, array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 363 kernel rows and 96 columns fit: one window per cycle.
+	if im.AR != 1 || im.AC != 1 || im.Cycles != 3025 {
+		t.Fatalf("im2col = %v, want 3025 cycles", im)
+	}
+	res, err := SearchVWSDK(l, array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cycles > im.Cycles {
+		t.Fatalf("search worse than im2col: %d > %d", res.Best.Cycles, im.Cycles)
+	}
+	// A 15-wide window holds two stride-4 kernel placements per axis.
+	m, err := VW(l, array512, Window{W: 15, H: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NwW != 2 || m.NwH != 2 {
+		t.Fatalf("Nw = %dx%d, want 2x2", m.NwW, m.NwH)
+	}
+	// 15·15 = 225 rows/channel: ICt = floor(512/225) = 2, AR = 2.
+	if m.ICt != 2 || m.AR != 2 {
+		t.Fatalf("ICt,AR = %d,%d, want 2,2", m.ICt, m.AR)
+	}
+	if m.NPW != ceilDiv(55, 2)*ceilDiv(55, 2) {
+		t.Fatalf("NPW = %d", m.NPW)
+	}
+}
+
+// TestOneByOneKernel: 1x1 convolutions degenerate gracefully — every window
+// is a single element and parallel windows are pure input blocks.
+func TestOneByOneKernel(t *testing.T) {
+	l := Layer{IW: 8, IH: 8, KW: 1, KH: 1, IC: 32, OC: 16}
+	a := Array{Rows: 64, Cols: 64}
+	im, err := Im2col(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Cycles != 64 { // 64 windows, 32 rows fit, 16 cols fit
+		t.Fatalf("im2col cycles = %d, want 64", im.Cycles)
+	}
+	res, err := SearchVWSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wxh window of 1x1 kernels yields w·h windows; e.g. 2x1 halves the
+	// positions with ICt = 32, Nw = 2, OCt = 32 -> 32 cycles, or better.
+	if res.Best.Cycles >= im.Cycles {
+		t.Fatalf("1x1 search found no improvement: %d", res.Best.Cycles)
+	}
+	again, err := VW(l, a, res.Best.PW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cycles != res.Best.Cycles {
+		t.Fatal("best 1x1 mapping not reproducible")
+	}
+}
+
+// TestWindowEqualsIFM: the parallel window may grow to the whole IFM, in
+// which case there is exactly one position.
+func TestWindowEqualsIFM(t *testing.T) {
+	l := Layer{IW: 6, IH: 5, KW: 3, KH: 3, IC: 2, OC: 4}
+	m, err := VW(l, Array{Rows: 128, Cols: 128}, Window{W: 6, H: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NPW != 1 {
+		t.Fatalf("NPW = %d, want 1", m.NPW)
+	}
+	if m.Nw() != 4*3 {
+		t.Fatalf("Nw = %d, want 12", m.Nw())
+	}
+}
+
+// TestColumnStarvedArray: arrays with very few columns force AC tiling and
+// reject windows with more duplicates than columns.
+func TestColumnStarvedArray(t *testing.T) {
+	l := Layer{IW: 10, IH: 10, KW: 3, KH: 3, IC: 2, OC: 9}
+	a := Array{Rows: 64, Cols: 3}
+	im, err := Im2col(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.AC != 3 || im.OCt != 3 {
+		t.Fatalf("im2col AC,OCt = %d,%d, want 3,3", im.AC, im.OCt)
+	}
+	// Any window with Nw > 3 is infeasible; Nw <= 3 must still work.
+	if _, err := VW(l, a, Window{W: 5, H: 5}); err == nil {
+		t.Error("Nw=9 window accepted on 3-column array")
+	}
+	m, err := VW(l, a, Window{W: 5, H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OCt != 1 || m.AC != 9 {
+		t.Fatalf("OCt,AC = %d,%d, want 1,9", m.OCt, m.AC)
+	}
+	res, err := SearchVWSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cycles > im.Cycles {
+		t.Fatal("search worse than im2col on starved array")
+	}
+}
+
+// TestRowStarvedArray: arrays with fewer rows than one kernel-channel force
+// row-granular AR for im2col while VW falls back to im2col.
+func TestRowStarvedArray(t *testing.T) {
+	l := Layer{IW: 8, IH: 8, KW: 3, KH: 3, IC: 4, OC: 4}
+	a := Array{Rows: 8, Cols: 16} // 8 rows < 9 per channel-window
+	im, err := Im2col(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.AR != ceilDiv(36, 8) {
+		t.Fatalf("AR = %d, want %d", im.AR, ceilDiv(36, 8))
+	}
+	res, err := SearchVWSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No window fits even one channel (area >= 9 > 8 rows): im2col wins.
+	if res.Best.Scheme != SchemeIm2col {
+		t.Fatalf("scheme = %v, want im2col fallback", res.Best.Scheme)
+	}
+}
+
+// TestStridedSearchProperty: Algorithm 1 remains an upper-bounded
+// improvement under arbitrary strides.
+func TestStridedSearchProperty(t *testing.T) {
+	f := func(iw, k, ic, oc, s uint8) bool {
+		l := Layer{
+			IW: int(iw%24) + 12, IH: int(iw%24) + 12,
+			KW: int(k%3) + 2, KH: int(k%3) + 2,
+			IC: int(ic%16) + 1, OC: int(oc%16) + 1,
+			StrideW: int(s%3) + 1, StrideH: int(s%3) + 1,
+		}
+		a := Array{Rows: 128, Cols: 128}
+		res, err := SearchVWSDK(l, a)
+		if err != nil {
+			return false
+		}
+		if res.Best.Cycles > res.Im2col.Cycles {
+			return false
+		}
+		if res.Best.Scheme == SchemeVWSDK {
+			m, err := VW(l, a, res.Best.PW)
+			if err != nil || m.Cycles != res.Best.Cycles {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaddedLayerCostUsesPaddedIFM: padding enlarges the window search
+// space and the output grid consistently.
+func TestPaddedLayerCostUsesPaddedIFM(t *testing.T) {
+	l := Layer{IW: 14, IH: 14, KW: 3, KH: 3, IC: 8, OC: 8, PadW: 1, PadH: 1}
+	if l.OutW() != 14 {
+		t.Fatalf("same-conv OutW = %d, want 14", l.OutW())
+	}
+	a := Array{Rows: 128, Cols: 64}
+	m, err := VW(l, a, Window{W: 16, H: 3}) // window as wide as the padded IFM
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NwW != 14 || m.NPW != ceilDiv(14, 14)*ceilDiv(14, 1) {
+		t.Fatalf("NwW=%d NPW=%d", m.NwW, m.NPW)
+	}
+	if _, err := VW(l, a, Window{W: 17, H: 3}); err == nil {
+		t.Error("window beyond padded IFM accepted")
+	}
+}

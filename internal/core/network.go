@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// NetworkResult is the outcome of optimizing every layer of a network.
+type NetworkResult struct {
+	// Results holds one search result per layer, in input order.
+	Results []Result
+
+	// TotalCycles is the sum of the chosen mappings' cycles.
+	TotalCycles int64
+
+	// TotalIm2col is the sum of the im2col baselines' cycles.
+	TotalIm2col int64
+}
+
+// Speedup returns the whole-network speedup over im2col.
+func (n NetworkResult) Speedup() float64 {
+	if n.TotalCycles == 0 {
+		return 0
+	}
+	return float64(n.TotalIm2col) / float64(n.TotalCycles)
+}
+
+// SearchNetwork runs SearchVWSDK on every layer concurrently (layer
+// searches are independent) and aggregates the totals. Results are returned
+// in layer order regardless of completion order; the first error wins.
+func SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
+	if len(layers) == 0 {
+		return NetworkResult{}, fmt.Errorf("core: SearchNetwork with no layers")
+	}
+	results := make([]Result, len(layers))
+	errs := make([]error, len(layers))
+	var wg sync.WaitGroup
+	for i, l := range layers {
+		wg.Add(1)
+		go func(i int, l Layer) {
+			defer wg.Done()
+			results[i], errs[i] = SearchVWSDK(l, a)
+		}(i, l)
+	}
+	wg.Wait()
+	var out NetworkResult
+	for i := range layers {
+		if errs[i] != nil {
+			return NetworkResult{}, fmt.Errorf("core: layer %q: %w", layers[i].Name, errs[i])
+		}
+		out.Results = append(out.Results, results[i])
+		out.TotalCycles += results[i].Best.Cycles
+		out.TotalIm2col += results[i].Im2col.Cycles
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Result is the outcome of a mapping search: the chosen mapping, the im2col
+// reference the paper normalizes speedups to, and search statistics.
+type Result struct {
+	// Best is the minimum-cycle mapping found.
+	Best Mapping
+
+	// Im2col is the im2col baseline for the same layer and array; the
+	// paper's speedups are Best vs Im2col.
+	Im2col Mapping
+
+	// Evaluated is the number of candidate windows costed (excluding the
+	// im2col seed); useful for search-cost reporting.
+	Evaluated int
+}
+
+// SpeedupVsIm2col returns how many times faster Best is than im2col.
+func (r Result) SpeedupVsIm2col() float64 { return r.Best.Speedup(r.Im2col) }
+
+// SearchVWSDK implements Algorithm 1 of the paper: it initializes the
+// minimum computing cycles with the im2col mapping, then sweeps every
+// parallel-window shape from the kernel size up to the padded IFM size —
+// width in the inner loop, height in the outer loop, exactly as the paper's
+// pseudocode increments PW_width first — costing each candidate with eq. 8
+// and keeping the first strictly better one. Infeasible candidates (window
+// larger than the rows can hold even one channel, or more windows than
+// columns) are skipped.
+func SearchVWSDK(l Layer, a Array) (Result, error) {
+	l = l.Normalized()
+	base, err := Im2col(l, a)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Best: base, Im2col: base}
+	for h := l.KH; h <= l.PaddedH(); h++ {
+		for w := l.KW; w <= l.PaddedW(); w++ {
+			if w == l.KW && h == l.KH {
+				continue // the im2col seed covers the kernel-sized window
+			}
+			m, err := VW(l, a, Window{W: w, H: h})
+			if err != nil {
+				if errors.Is(err, ErrInfeasible) {
+					continue
+				}
+				return Result{}, err
+			}
+			res.Evaluated++
+			if m.Cycles < res.Best.Cycles {
+				res.Best = m
+			}
+		}
+	}
+	return res, nil
+}
+
+// SearchSDK implements the existing SDK-based algorithm the paper compares
+// against [Zhang TCAD'20] as the paper characterizes it: it considers only
+// square parallel windows holding the entire input channels, duplicating
+// kernels "in the unit of square number" (window K+d gives (d+1)² windows
+// for stride 1).
+//
+// A candidate window is feasible only if the duplication does not increase
+// the row or column cycle counts relative to im2col:
+//
+//	ceil(PW²·IC/Rows) ≤ ceil(K²·IC/Rows)  and  ceil(Nw·OC/Cols) ≤ ceil(OC/Cols)
+//
+// This is the rule (documented in DESIGN.md §2.3) under which the search
+// reproduces every SDK entry of the paper's Table I — e.g. VGG-13 layers 2–3
+// keep a 4×4 window at AR=2 while ResNet-18 layer 3 falls back to the kernel
+// window, and 5×5 is rejected for VGG-13 layer 1 because 9·64 > 512 columns.
+// When no larger window is feasible the result degenerates to im2col, which
+// is how the paper explains SDK's flat speedup beyond VGG-13 layer 3.
+func SearchSDK(l Layer, a Array) (Result, error) {
+	l = l.Normalized()
+	base, err := Im2col(l, a)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Best: base, Im2col: base}
+	maxSide := min(l.PaddedW(), l.PaddedH())
+	// Square windows require a square kernel extent to stay square in
+	// window units; for rectangular kernels the baseline grows both sides
+	// equally from the kernel, matching "shift and duplicate" in both axes.
+	for d := 1; ; d++ {
+		pw := Window{W: l.KW + d*l.StrideW, H: l.KH + d*l.StrideH}
+		if pw.W > l.PaddedW() || pw.H > l.PaddedH() || max(pw.W, pw.H) > maxSide {
+			break
+		}
+		m, err := SDK(l, a, pw)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Evaluated++
+		if m.AR > base.AR || m.AC > base.AC {
+			continue // infeasible under the baseline's rule
+		}
+		if m.Cycles < res.Best.Cycles {
+			res.Best = m
+		}
+	}
+	if res.Best.Scheme == SchemeIm2col {
+		// Report the degenerate choice in SDK notation (kernel window).
+		res.Best.Scheme = SchemeSDK
+	}
+	return res, nil
+}
+
+// SearchSMD implements the sub-matrix duplication baseline [Peng ISCAS'19]:
+// it chooses the largest duplication factor whose block-diagonal kernel
+// copies fit the array; with no room to duplicate it degenerates to im2col
+// tiling (dup = 1).
+func SearchSMD(l Layer, a Array) (Result, error) {
+	l = l.Normalized()
+	base, err := Im2col(l, a)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Best: base, Im2col: base}
+	dup := 1
+	if kr := l.KernelRows(); kr <= a.Rows && l.OC <= a.Cols {
+		dup = min(a.Rows/kr, a.Cols/l.OC)
+		dup = min(dup, l.Windows())
+	}
+	m, err := SMD(l, a, dup)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Evaluated = dup
+	if m.Cycles < res.Best.Cycles || dup > 1 {
+		res.Best = m
+	} else {
+		res.Best.Scheme = SchemeSMD
+		res.Best.Dup = 1
+	}
+	return res, nil
+}
+
+// Variant selects an ablation of the VW-SDK search that disables one of the
+// paper's two ideas, attributing the overall gain between them (DESIGN.md §5).
+type Variant int
+
+const (
+	// VariantFull is the unrestricted VW-SDK search (Algorithm 1).
+	VariantFull Variant = iota
+	// VariantSquareTiled allows channel tiling but only square-shaped
+	// parallel windows: isolates the benefit of rectangular shapes.
+	VariantSquareTiled
+	// VariantRectFullChannel allows rectangular windows but maps entire
+	// channels with the SDK baseline's row/column granularity and
+	// feasibility rule: isolates the benefit of channel tiling.
+	VariantRectFullChannel
+)
+
+// String names the ablation variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantFull:
+		return "full"
+	case VariantSquareTiled:
+		return "square+tiled"
+	case VariantRectFullChannel:
+		return "rect+full-channels"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// SearchVariant runs the VW-SDK search restricted to the given ablation
+// variant. VariantFull is identical to SearchVWSDK.
+func SearchVariant(l Layer, a Array, v Variant) (Result, error) {
+	l = l.Normalized()
+	switch v {
+	case VariantFull:
+		return SearchVWSDK(l, a)
+	case VariantSquareTiled:
+		base, err := Im2col(l, a)
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{Best: base, Im2col: base}
+		for d := 1; ; d++ {
+			pw := Window{W: l.KW + d*l.StrideW, H: l.KH + d*l.StrideH}
+			if pw.W > l.PaddedW() || pw.H > l.PaddedH() {
+				break
+			}
+			m, err := VW(l, a, pw)
+			if err != nil {
+				if errors.Is(err, ErrInfeasible) {
+					break
+				}
+				return Result{}, err
+			}
+			res.Evaluated++
+			if m.Cycles < res.Best.Cycles {
+				res.Best = m
+			}
+		}
+		return res, nil
+	case VariantRectFullChannel:
+		base, err := Im2col(l, a)
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{Best: base, Im2col: base}
+		for h := l.KH; h <= l.PaddedH(); h++ {
+			for w := l.KW; w <= l.PaddedW(); w++ {
+				if w == l.KW && h == l.KH {
+					continue
+				}
+				m, err := SDK(l, a, Window{W: w, H: h})
+				if err != nil {
+					return Result{}, err
+				}
+				res.Evaluated++
+				if m.AR > base.AR || m.AC > base.AC {
+					continue
+				}
+				if m.Cycles < res.Best.Cycles {
+					res.Best = m
+				}
+			}
+		}
+		return res, nil
+	default:
+		return Result{}, fmt.Errorf("core: unknown variant %d", int(v))
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+// TileShape describes what one computing cycle occupies on the array: the
+// bounding-box footprint (rows driven by DACs, columns read by ADCs) and the
+// number of cells actually holding weight values. For shifted/duplicated
+// kernel layouts the footprint is larger than the weight-cell count because a
+// column only stores kernel weights at the K×K positions its window covers.
+type TileShape struct {
+	// Rows and Cols are the occupied bounding box of the cycle.
+	Rows, Cols int
+
+	// UsedCells is the number of cells storing weights, the paper's U_n in
+	// eq. 9.
+	UsedCells int64
+}
+
+// icTile returns the number of input channels mapped in array-row tile i
+// (0 ≤ i < AR) for channel-granular schemes.
+func (m Mapping) icTile(i int) int {
+	if i < m.AR-1 {
+		return m.ICt
+	}
+	return m.Layer.IC - (m.AR-1)*m.ICt
+}
+
+// ocTile returns the number of output channels computed in array-column tile
+// j (0 ≤ j < AC) for channel-granular column layouts.
+func (m Mapping) ocTile(j int) int {
+	if j < m.AC-1 {
+		return m.OCt
+	}
+	return m.Layer.OC - (m.AC-1)*m.OCt
+}
+
+// rowTile returns the number of raw array rows occupied by row tile i when
+// rows are split row-granularly (im2col, SDK): full tiles take the whole
+// array and the last takes the remainder.
+func (m Mapping) rowTile(totalRows, i int) int {
+	if i < m.AR-1 {
+		return m.Array.Rows
+	}
+	return totalRows - (m.AR-1)*m.Array.Rows
+}
+
+// colTile returns the number of raw array columns occupied by column tile j
+// when columns are split column-granularly (SDK).
+func (m Mapping) colTile(totalCols, j int) int {
+	if j < m.AC-1 {
+		return m.Array.Cols
+	}
+	return totalCols - (m.AC-1)*m.Array.Cols
+}
+
+// Tile returns the shape of the cycle at array-row tile i and array-column
+// tile j (0 ≤ i < AR, 0 ≤ j < AC). Every parallel-window position reuses the
+// same weights, so the shape depends only on (i, j); for SMD the last window
+// group may drive fewer columns, which Utilization accounts for separately.
+func (m Mapping) Tile(i, j int) TileShape {
+	l := m.Layer
+	switch m.Scheme {
+	case SchemeIm2col:
+		rows := m.rowTile(l.KernelRows(), i)
+		cols := m.ocTile(j)
+		return TileShape{Rows: rows, Cols: cols, UsedCells: int64(rows) * int64(cols)}
+	case SchemeSMD:
+		if m.Dup <= 1 {
+			rows := m.rowTile(l.KernelRows(), i)
+			cols := m.ocTile(j)
+			return TileShape{Rows: rows, Cols: cols, UsedCells: int64(rows) * int64(cols)}
+		}
+		rows := m.Dup * l.KernelRows()
+		cols := m.Dup * l.OC
+		used := int64(m.Dup) * int64(l.KernelRows()) * int64(l.OC)
+		return TileShape{Rows: rows, Cols: cols, UsedCells: used}
+	case SchemeSDK:
+		return m.sdkTile(i, j)
+	default: // SchemeVWSDK
+		ic := m.icTile(i)
+		oc := m.ocTile(j)
+		rows := m.PW.Area() * ic
+		cols := m.Nw() * oc
+		used := int64(l.KW*l.KH*ic) * int64(cols)
+		return TileShape{Rows: rows, Cols: cols, UsedCells: used}
+	}
+}
+
+// sdkTile computes the exact shape of an SDK cycle, where rows split
+// row-granularly across the PW·PW·IC unrolled window and columns split
+// column-granularly across the Nw·OC duplicated kernels. Weight cells are
+// counted by enumerating, per window copy, the kernel positions that fall in
+// the tile's row range.
+func (m Mapping) sdkTile(i, j int) TileShape {
+	l := m.Layer
+	area := m.PW.Area()
+	totalRows := area * l.IC
+	totalCols := m.Nw() * l.OC
+
+	rowLo := i * m.Array.Rows
+	rowHi := min(rowLo+m.Array.Rows, totalRows)
+	colLo := j * m.Array.Cols
+	colHi := min(colLo+m.Array.Cols, totalCols)
+
+	var used int64
+	for wy := 0; wy < m.NwH; wy++ {
+		for wx := 0; wx < m.NwW; wx++ {
+			w := wy*m.NwW + wx
+			// Columns of this window copy overlapping the column tile.
+			cLo := max(colLo, w*l.OC)
+			cHi := min(colHi, (w+1)*l.OC)
+			if cLo >= cHi {
+				continue
+			}
+			nnz := m.sdkWindowRowsIn(wx, wy, rowLo, rowHi)
+			used += int64(cHi-cLo) * int64(nnz)
+		}
+	}
+	return TileShape{Rows: rowHi - rowLo, Cols: colHi - colLo, UsedCells: used}
+}
+
+// sdkWindowRowsIn counts the weight-holding rows of one shifted kernel copy
+// (window offset wx,wy inside the parallel window) that fall in the
+// row-granular range [lo, hi). Rows are laid out channel-major: channel c
+// occupies rows [c·area, (c+1)·area) in parallel-window raster order.
+func (m Mapping) sdkWindowRowsIn(wx, wy, lo, hi int) int {
+	l := m.Layer
+	area := m.PW.Area()
+	dx := wx * l.StrideW
+	dy := wy * l.StrideH
+	count := 0
+	for c := 0; c < l.IC; c++ {
+		base := c * area
+		if base >= hi {
+			break
+		}
+		if base+area <= lo {
+			continue
+		}
+		for ky := 0; ky < l.KH; ky++ {
+			rowBase := base + (dy+ky)*m.PW.W + dx
+			for kx := 0; kx < l.KW; kx++ {
+				r := rowBase + kx
+				if r >= lo && r < hi {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// Utilization returns the paper's eq. 9: the average over all computing
+// cycles of used weight cells over total array cells, in percent. Cycles at
+// different parallel-window positions reuse the same tiles, so the average
+// runs over the AR×AC tile grid (and over window groups for SMD, whose last
+// group may be partial).
+func (m Mapping) Utilization() float64 {
+	if m.Scheme == SchemeSMD && m.Dup > 1 {
+		l := m.Layer
+		full := m.NPW - 1
+		rem := l.Windows() - full*m.Dup
+		perWin := int64(l.KernelRows()) * int64(l.OC)
+		sum := float64(full)*cellFrac(int64(m.Dup)*perWin, m.Array) +
+			cellFrac(int64(rem)*perWin, m.Array)
+		return 100 * sum / float64(m.NPW)
+	}
+	var sum float64
+	for i := 0; i < m.AR; i++ {
+		for j := 0; j < m.AC; j++ {
+			sum += cellFrac(m.Tile(i, j).UsedCells, m.Array)
+		}
+	}
+	return 100 * sum / float64(m.AR*m.AC)
+}
+
+// PeakUtilization returns the utilization of the fullest cycle in percent;
+// the paper's "up to 73.8%" for VGG-13 layer 5 is this value.
+func (m Mapping) PeakUtilization() float64 {
+	var best int64
+	for i := 0; i < m.AR; i++ {
+		for j := 0; j < m.AC; j++ {
+			if u := m.Tile(i, j).UsedCells; u > best {
+				best = u
+			}
+		}
+	}
+	return 100 * cellFrac(best, m.Array)
+}
+
+// cellFrac returns used/total cells as a fraction.
+func cellFrac(used int64, a Array) float64 {
+	return float64(used) / float64(a.Cells())
+}

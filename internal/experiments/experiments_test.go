@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", what, got, want, tol)
+	}
+}
+
+func TestTableIGolden(t *testing.T) {
+	r, err := TableI(Array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r.Summary["vgg13/im2col-cycles"], 243736, 0, "vgg13 im2col")
+	approx(t, r.Summary["vgg13/sdk-cycles"], 114697, 0, "vgg13 sdk (paper Table I)")
+	approx(t, r.Summary["vgg13/vw-cycles"], 77102, 0, "vgg13 vw (paper Table I)")
+	approx(t, r.Summary["resnet18/im2col-cycles"], 20041, 0, "resnet18 im2col")
+	approx(t, r.Summary["resnet18/sdk-cycles"], 7240, 0, "resnet18 sdk (paper Table I)")
+	approx(t, r.Summary["resnet18/vw-cycles"], 4294, 0, "resnet18 vw (paper Table I)")
+	s := r.Table.String()
+	for _, cell := range []string{"10x8x3x64", "4x3x42x256", "8x8x3x64", "4x4x32x128"} {
+		if !strings.Contains(s, cell) {
+			t.Errorf("Table I missing cell %q", cell)
+		}
+	}
+	if !strings.Contains(r.String(), "[table1]") {
+		t.Error("Result.String missing ID header")
+	}
+}
+
+func TestFig4Golden(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a 512x512 array im2col can hold floor(512/9)=56 input channels:
+	// only conv2 (IC=64? no) — in fact no VGG-13 conv2..conv8 layer has
+	// IC<=56 except none; check the recorded counts match the paper's
+	// message (conventional mappings cannot map entire channels).
+	if got := r.Summary["512x512/im2col/mappable"]; got != 0 {
+		t.Errorf("512x512 im2col mappable = %v, want 0", got)
+	}
+	if got := r.Summary["128x128/SDK 4x4/mappable"]; got != 0 {
+		t.Errorf("128x128 SDK mappable = %v, want 0", got)
+	}
+	if !strings.Contains(r.Table.String(), "im2col") {
+		t.Error("Fig4 table malformed")
+	}
+}
+
+func TestFig5aGolden(t *testing.T) {
+	r, err := Fig5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 5(a): im2col 4 cycles, 4x3 window 2 cycles, 4x4 window 4.
+	approx(t, r.Summary["im2col/cycles"], 4, 0, "im2col cycles")
+	approx(t, r.Summary["4x3/cycles"], 2, 0, "4x3 cycles")
+	approx(t, r.Summary["4x4/cycles"], 4, 0, "4x4 cycles")
+}
+
+func TestFig5bGolden(t *testing.T) {
+	r, err := Fig5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: the 4x3 rectangular window achieves ~2x speedup over the 4x4
+	// square window (at IFM 14 in the running example).
+	approx(t, r.Summary["ifm14/4x3-over-4x4"], 2.0, 1e-9, "4x3 over 4x4 at IFM 14")
+	approx(t, r.Summary["ifm14/4x3-speedup"], 2.0, 1e-9, "4x3 speedup at IFM 14")
+	if len(r.Charts) == 0 || !strings.Contains(r.Charts[0], "4x3") {
+		t.Error("Fig5b chart missing")
+	}
+}
+
+func TestFig7Golden(t *testing.T) {
+	ra, err := Fig7a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ra.Summary["area9/512rows"], 56, 0, "ICt at area 9")
+	approx(t, ra.Summary["area76/512rows"], 6, 0, "ICt at area 76")
+	rb, err := Fig7b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rb.Summary["nw1/512cols"], 512, 0, "OCt at Nw 1")
+	approx(t, rb.Summary["nw15/512cols"], 34, 0, "OCt at Nw 15")
+}
+
+func TestFig8aGolden(t *testing.T) {
+	r, err := Fig8a(Array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper abstract: 3.16x / 1.49x on VGG-13, 4.67x / 1.69x on ResNet-18.
+	approx(t, r.Summary["vgg13/vw-total-speedup"], 3.1612, 0.001, "vgg13 vw speedup")
+	approx(t, r.Summary["resnet18/vw-total-speedup"], 4.6672, 0.001, "resnet18 vw speedup")
+	approx(t, r.Summary["vgg13/sdk-total-speedup"], 2.125, 0.001, "vgg13 sdk speedup")
+	approx(t, r.Summary["resnet18/sdk-total-speedup"], 2.768, 0.001, "resnet18 sdk speedup")
+	if len(r.Charts) != 2 {
+		t.Errorf("Fig8a charts = %d, want 2", len(r.Charts))
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	r, err := Fig8b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: speedups grow with array size; VW-SDK ≥ SDK ≥ 1 everywhere.
+	for _, net := range []string{"vgg13", "resnet18"} {
+		prev := 0.0
+		for _, a := range PaperArrays {
+			vw := r.Summary[net+"/"+a.String()+"/vw-speedup"]
+			sdk := r.Summary[net+"/"+a.String()+"/sdk-speedup"]
+			if vw < sdk-1e-9 || sdk < 1-1e-9 {
+				t.Errorf("%s %s: vw %.2f < sdk %.2f or sdk < 1", net, a, vw, sdk)
+			}
+			if vw+1e-9 < prev {
+				t.Errorf("%s: vw speedup not monotone at %s (%.3f after %.3f)",
+					net, a, vw, prev)
+			}
+			prev = vw
+		}
+		at512 := r.Summary[net+"/512x512/vw-speedup"]
+		at128 := r.Summary[net+"/128x128/vw-speedup"]
+		if at512 <= at128 {
+			t.Errorf("%s: speedup should grow with array size (%.2f vs %.2f)",
+				net, at512, at128)
+		}
+	}
+}
+
+func TestFig9aGolden(t *testing.T) {
+	r, err := Fig9a(Array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: VW-SDK reaches up to 73.8% utilization at layer 5.
+	approx(t, r.Summary["layer5/vw-peak-util"], 73.828125, 1e-6, "layer5 vw peak util")
+	// Layers 4-6: VW-SDK strictly above im2col.
+	for _, l := range []string{"layer4", "layer5", "layer6"} {
+		if r.Summary[l+"/vw-util"] <= r.Summary[l+"/im2col-util"] {
+			t.Errorf("%s: vw util %.1f not above im2col %.1f",
+				l, r.Summary[l+"/vw-util"], r.Summary[l+"/im2col-util"])
+		}
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	r, err := Fig9b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Table.Rows) != 8 {
+		t.Fatalf("Fig9b rows = %d, want 8", len(r.Table.Rows))
+	}
+	// The paper's claim is that VW-SDK gains *higher utilization than the
+	// conventional algorithms* as arrays grow. On a 128x128 array conv5
+	// packs im2col perfectly (1152 = 9·128 rows, 256 = 2·128 cols), so all
+	// mappings sit at 100% and the gap is zero; at 512x512 the VW-SDK
+	// advantage must be strictly positive.
+	gapSmall := r.Summary["conv5/128x128/vw-util"] - r.Summary["conv5/128x128/im2col-util"]
+	gapLarge := r.Summary["conv5/512x512/vw-util"] - r.Summary["conv5/512x512/im2col-util"]
+	if gapLarge <= gapSmall {
+		t.Errorf("conv5 vw-vs-im2col utilization gap should grow with array: %.1f vs %.1f",
+			gapSmall, gapLarge)
+	}
+	if r.Summary["conv5/128x128/vw-util"] != 100 {
+		t.Errorf("conv5 at 128x128 should be perfectly packed, got %.1f",
+			r.Summary["conv5/128x128/vw-util"])
+	}
+}
+
+func TestAblation(t *testing.T) {
+	r, err := Ablation(Array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []string{"vgg13", "resnet18"} {
+		vw := r.Summary[net+"/vw-cycles"]
+		sq := r.Summary[net+"/square-tiled-cycles"]
+		rect := r.Summary[net+"/rect-full-cycles"]
+		if vw > sq || vw > rect {
+			t.Errorf("%s: full search (%v) worse than ablations (%v, %v)", net, vw, sq, rect)
+		}
+		// Both ideas contribute on these networks: each restriction costs
+		// cycles relative to the full search.
+		if sq == vw && rect == vw {
+			t.Errorf("%s: ablations indistinguishable from full search", net)
+		}
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	r, err := Energy(Array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []string{"vgg13", "resnet18"} {
+		im := r.Summary[net+"/im2col/energy-uj"]
+		vw := r.Summary[net+"/VW-SDK/energy-uj"]
+		if vw >= im {
+			t.Errorf("%s: VW energy %v not below im2col %v (full-array model)", net, vw, im)
+		}
+		if f := r.Summary[net+"/VW-SDK/conversion-frac"]; f < 0.98 {
+			t.Errorf("%s: conversion fraction %v below the paper's 98%%", net, f)
+		}
+	}
+}
+
+func TestVerifyFunctional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crossbar simulation")
+	}
+	r, err := VerifyFunctional(0xbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary["passed"] != r.Summary["cases"] {
+		t.Fatalf("verification failed: %+v\n%s", r.Summary, r.Table.String())
+	}
+}
+
+func TestAllRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full suite including functional verification")
+	}
+	rs, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 16 {
+		t.Fatalf("All returned %d results, want 16", len(rs))
+	}
+	ids := map[string]bool{}
+	for _, r := range rs {
+		if r.Table == nil {
+			t.Errorf("%s: nil table", r.ID)
+		}
+		if ids[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		ids[r.ID] = true
+		if len(r.String()) == 0 {
+			t.Errorf("%s: empty rendering", r.ID)
+		}
+	}
+}
+
+func TestBitslice(t *testing.T) {
+	r, err := Bitslice(Array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal precision reproduces the paper's 4294-cycle total.
+	approx(t, r.Summary["p0/cycles"], 4294, 0, "ideal precision cycles")
+	// Slowdown is monotone in precision demand.
+	prev := 0.0
+	for i := 0; i < 4; i++ {
+		s := r.Summary[fmt.Sprintf("p%d/slowdown", i)]
+		if s < prev {
+			t.Errorf("slowdown not monotone at p%d: %v after %v", i, s, prev)
+		}
+		prev = s
+	}
+	// 8-bit weights in 1-bit cells with 1-bit DACs cost dearly.
+	if r.Summary["p3/slowdown"] < 8 {
+		t.Errorf("w8/c1 a8/d1 slowdown = %v, want >= 8 (8 passes alone)",
+			r.Summary["p3/slowdown"])
+	}
+}
+
+func TestChip(t *testing.T) {
+	r, err := Chip(Array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, net := range []string{"vgg13", "resnet18"} {
+		if got := r.Summary[net+"/arrays1/vw-scaling"]; got != 1 {
+			t.Errorf("%s: 1-array scaling = %v, want 1", net, got)
+		}
+		prev := 0.0
+		for _, c := range []int{1, 2, 4, 8, 16, 32, 64} {
+			s := r.Summary[fmt.Sprintf("%s/arrays%d/vw-scaling", net, c)]
+			if s < prev-1e-9 {
+				t.Errorf("%s: scaling not monotone at %d arrays", net, c)
+			}
+			prev = s
+		}
+		if prev < 4 {
+			t.Errorf("%s: 64-array scaling = %v, want >= 4", net, prev)
+		}
+	}
+}
+
+func TestReuse(t *testing.T) {
+	r, err := Reuse(Array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ResNet-18 conv2: im2col re-reads each element ~9x (3x3 overlap, AR=2
+	// doubles it); VW-SDK's 4x4 window cuts loads per element well below.
+	im := r.Summary["conv2/im2col/loads"]
+	vw := r.Summary["conv2/VW-SDK/loads"]
+	if vw >= im {
+		t.Errorf("conv2: VW loads/element %.2f not below im2col %.2f", vw, im)
+	}
+	for _, l := range []string{"conv1", "conv2", "conv3", "conv4"} {
+		im := r.Summary[l+"/im2col/loads"]
+		vw := r.Summary[l+"/VW-SDK/loads"]
+		if im <= 0 || vw <= 0 {
+			t.Errorf("%s: missing reuse data", l)
+		}
+		if vw > im {
+			t.Errorf("%s: VW %.2f worse than im2col %.2f", l, vw, im)
+		}
+	}
+}

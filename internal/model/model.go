@@ -1,0 +1,197 @@
+// Package model is the CNN model zoo: the layer dimension tables the paper
+// evaluates on (VGG-13 and ResNet-18, Table I), plus a few extra networks
+// and a parametric generator used by examples and property tests.
+//
+// The paper models every convolution as a stride-1 "valid" convolution over
+// the listed IFM size and counts each distinct layer shape once (DESIGN.md
+// §2); the constructors here reproduce those exact tables. Networks carry
+// an optional Count per layer so callers can also weight shapes by how often
+// they repeat in the real architecture.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// ConvLayer is a network layer entry: the geometry plus how many times the
+// shape occurs in the full architecture.
+type ConvLayer struct {
+	core.Layer
+
+	// Count is the number of occurrences of this shape in the real
+	// network; the paper's evaluation uses 1 per distinct shape.
+	Count int
+}
+
+// Network is a named list of convolutional layers.
+type Network struct {
+	Name   string
+	Layers []ConvLayer
+}
+
+// Validate checks every layer.
+func (n Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("model: network %q has no layers", n.Name)
+	}
+	for _, l := range n.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("model: network %q: %w", n.Name, err)
+		}
+		if l.Count < 1 {
+			return fmt.Errorf("model: network %q layer %q: count %d", n.Name, l.Name, l.Count)
+		}
+	}
+	return nil
+}
+
+// CoreLayers returns the bare core.Layer slice (one entry per distinct
+// shape, ignoring Count), the form the paper's totals use.
+func (n Network) CoreLayers() []core.Layer {
+	out := make([]core.Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		out[i] = l.Layer
+	}
+	return out
+}
+
+// TotalMACs returns the multiply-accumulate count over distinct shapes.
+func (n Network) TotalMACs() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.MACs()
+	}
+	return total
+}
+
+func conv(name string, ifm, k, ic, oc int) ConvLayer {
+	return ConvLayer{
+		Layer: core.Layer{Name: name, IW: ifm, IH: ifm, KW: k, KH: k, IC: ic, OC: oc},
+		Count: 1,
+	}
+}
+
+func convN(name string, ifm, k, ic, oc, count int) ConvLayer {
+	l := conv(name, ifm, k, ic, oc)
+	l.Count = count
+	return l
+}
+
+// VGG13 returns the ten conv layers of VGG-13 exactly as the paper's
+// Table I lists them.
+func VGG13() Network {
+	return Network{
+		Name: "VGG-13",
+		Layers: []ConvLayer{
+			conv("conv1", 224, 3, 3, 64),
+			conv("conv2", 224, 3, 64, 64),
+			conv("conv3", 112, 3, 64, 128),
+			conv("conv4", 112, 3, 128, 128),
+			conv("conv5", 56, 3, 128, 256),
+			conv("conv6", 56, 3, 256, 256),
+			conv("conv7", 28, 3, 256, 512),
+			conv("conv8", 28, 3, 512, 512),
+			conv("conv9", 14, 3, 512, 512),
+			conv("conv10", 14, 3, 512, 512),
+		},
+	}
+}
+
+// ResNet18 returns the five distinct conv shapes of ResNet-18 exactly as the
+// paper's Table I lists them (one entry per shape). Count records how often
+// each 3x3 shape appears in the real architecture's residual blocks.
+func ResNet18() Network {
+	return Network{
+		Name: "ResNet-18",
+		Layers: []ConvLayer{
+			conv("conv1", 112, 7, 3, 64),
+			convN("conv2", 56, 3, 64, 64, 4),
+			convN("conv3", 28, 3, 128, 128, 4),
+			convN("conv4", 14, 3, 256, 256, 4),
+			convN("conv5", 7, 3, 512, 512, 4),
+		},
+	}
+}
+
+// VGG16 returns the thirteen conv layers of VGG-16 in the same convention
+// (extra network beyond the paper's evaluation, for the examples).
+func VGG16() Network {
+	return Network{
+		Name: "VGG-16",
+		Layers: []ConvLayer{
+			conv("conv1_1", 224, 3, 3, 64),
+			conv("conv1_2", 224, 3, 64, 64),
+			conv("conv2_1", 112, 3, 64, 128),
+			conv("conv2_2", 112, 3, 128, 128),
+			conv("conv3_1", 56, 3, 128, 256),
+			convN("conv3_2", 56, 3, 256, 256, 2),
+			conv("conv4_1", 28, 3, 256, 512),
+			convN("conv4_2", 28, 3, 512, 512, 2),
+			convN("conv5", 14, 3, 512, 512, 3),
+		},
+	}
+}
+
+// AlexNet returns the five conv layers of AlexNet (extra network; conv1 is
+// the classic 11x11 stride-4 layer, exercising the cost model's stride
+// generalization).
+func AlexNet() Network {
+	return Network{
+		Name: "AlexNet",
+		Layers: []ConvLayer{
+			{Layer: core.Layer{Name: "conv1", IW: 227, IH: 227, KW: 11, KH: 11,
+				IC: 3, OC: 96, StrideW: 4, StrideH: 4}, Count: 1},
+			{Layer: core.Layer{Name: "conv2", IW: 27, IH: 27, KW: 5, KH: 5,
+				IC: 96, OC: 256, PadW: 2, PadH: 2}, Count: 1},
+			conv("conv3", 13, 3, 256, 384),
+			conv("conv4", 13, 3, 384, 384),
+			conv("conv5", 13, 3, 384, 256),
+		},
+	}
+}
+
+// All returns every predefined network.
+func All() []Network {
+	return []Network{VGG13(), ResNet18(), VGG16(), AlexNet()}
+}
+
+// ByName returns the predefined network with the given name
+// (case-sensitive, e.g. "VGG-13"), or an error listing the options.
+func ByName(name string) (Network, error) {
+	for _, n := range All() {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	names := make([]string, 0, 4)
+	for _, n := range All() {
+		names = append(names, n.Name)
+	}
+	return Network{}, fmt.Errorf("model: unknown network %q (have %v)", name, names)
+}
+
+// Random returns a deterministic pseudo-random network of n small layers for
+// property tests and fuzz-style examples.
+func Random(seed uint64, n int) Network {
+	if n < 1 {
+		n = 1
+	}
+	rng := tensor.NewRNG(seed)
+	net := Network{Name: fmt.Sprintf("random-%d", seed)}
+	for i := 0; i < n; i++ {
+		k := 1 + rng.IntN(3)
+		ifm := k + 4 + rng.IntN(24)
+		net.Layers = append(net.Layers, ConvLayer{
+			Layer: core.Layer{
+				Name: fmt.Sprintf("conv%d", i+1),
+				IW:   ifm, IH: ifm, KW: k, KH: k,
+				IC: 1 + rng.IntN(64), OC: 1 + rng.IntN(64),
+			},
+			Count: 1,
+		})
+	}
+	return net
+}

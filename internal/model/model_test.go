@@ -1,0 +1,171 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAllNetworksValidate(t *testing.T) {
+	for _, n := range All() {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestVGG13MatchesTableI(t *testing.T) {
+	n := VGG13()
+	if len(n.Layers) != 10 {
+		t.Fatalf("VGG-13 has %d layers, want 10", len(n.Layers))
+	}
+	first := n.Layers[0]
+	if first.IW != 224 || first.KW != 3 || first.IC != 3 || first.OC != 64 {
+		t.Errorf("conv1 = %v", first.Layer)
+	}
+	last := n.Layers[9]
+	if last.IW != 14 || last.IC != 512 || last.OC != 512 {
+		t.Errorf("conv10 = %v", last.Layer)
+	}
+}
+
+func TestResNet18MatchesTableI(t *testing.T) {
+	n := ResNet18()
+	if len(n.Layers) != 5 {
+		t.Fatalf("ResNet-18 has %d distinct shapes, want 5", len(n.Layers))
+	}
+	if n.Layers[0].KW != 7 || n.Layers[0].IW != 112 {
+		t.Errorf("conv1 = %v", n.Layers[0].Layer)
+	}
+	if n.Layers[4].IW != 7 || n.Layers[4].IC != 512 {
+		t.Errorf("conv5 = %v", n.Layers[4].Layer)
+	}
+	for _, l := range n.Layers[1:] {
+		if l.Count != 4 {
+			t.Errorf("%s count = %d, want 4", l.Name, l.Count)
+		}
+	}
+}
+
+func TestCoreLayers(t *testing.T) {
+	n := ResNet18()
+	ls := n.CoreLayers()
+	if len(ls) != len(n.Layers) {
+		t.Fatal("CoreLayers length mismatch")
+	}
+	for i := range ls {
+		if ls[i] != n.Layers[i].Layer {
+			t.Fatalf("layer %d differs", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	n, err := ByName("VGG-13")
+	if err != nil || n.Name != "VGG-13" {
+		t.Fatalf("ByName(VGG-13) = %v, %v", n.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	} else if !strings.Contains(err.Error(), "VGG-13") {
+		t.Errorf("error should list options: %v", err)
+	}
+}
+
+func TestAlexNetStride(t *testing.T) {
+	n := AlexNet()
+	c1 := n.Layers[0].Layer.Normalized()
+	if c1.StrideW != 4 {
+		t.Fatalf("conv1 stride = %d, want 4", c1.StrideW)
+	}
+	if got := c1.OutW(); got != 55 {
+		t.Fatalf("conv1 OutW = %d, want 55", got)
+	}
+	c2 := n.Layers[1].Layer
+	if got := c2.OutW(); got != 27 {
+		t.Fatalf("conv2 OutW = %d, want 27 (padded same conv)", got)
+	}
+}
+
+func TestTotalMACs(t *testing.T) {
+	// ResNet-18 distinct shapes: conv1 contributes 106²·147·64 MACs.
+	n := Network{Name: "one", Layers: []ConvLayer{
+		{Layer: core.Layer{Name: "c", IW: 112, IH: 112, KW: 7, KH: 7, IC: 3, OC: 64}, Count: 1},
+	}}
+	want := int64(106*106) * 147 * 64
+	if got := n.TotalMACs(); got != want {
+		t.Fatalf("TotalMACs = %d, want %d", got, want)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Network{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty network accepted")
+	}
+	bad := Network{Name: "bad", Layers: []ConvLayer{
+		{Layer: core.Layer{Name: "c", IW: 0, IH: 1, KW: 1, KH: 1, IC: 1, OC: 1}, Count: 1},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid layer accepted")
+	}
+	zeroCount := Network{Name: "zc", Layers: []ConvLayer{
+		{Layer: core.Layer{Name: "c", IW: 4, IH: 4, KW: 3, KH: 3, IC: 1, OC: 1}, Count: 0},
+	}}
+	if err := zeroCount.Validate(); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestRandomNetworkDeterministic(t *testing.T) {
+	a := Random(5, 6)
+	b := Random(5, 6)
+	if len(a.Layers) != 6 {
+		t.Fatalf("layers = %d, want 6", len(a.Layers))
+	}
+	for i := range a.Layers {
+		if a.Layers[i] != b.Layers[i] {
+			t.Fatal("Random not deterministic")
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("random network invalid: %v", err)
+	}
+	if got := Random(1, 0); len(got.Layers) != 1 {
+		t.Fatal("Random(n<1) should produce one layer")
+	}
+}
+
+// TestPaperTotalsViaModel re-derives the Table I totals through the model
+// zoo, tying the zoo's dimension tables to the golden numbers.
+func TestPaperTotalsViaModel(t *testing.T) {
+	a := core.Array{Rows: 512, Cols: 512}
+	totals := func(n Network) (im, sdk, vw int64) {
+		for _, l := range n.CoreLayers() {
+			m, err := core.Im2col(l, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			im += m.Cycles
+			rs, err := core.SearchSDK(l, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sdk += rs.Best.Cycles
+			rv, err := core.SearchVWSDK(l, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vw += rv.Best.Cycles
+		}
+		return
+	}
+	im, sdk, vw := totals(VGG13())
+	if im != 243736 || sdk != 114697 || vw != 77102 {
+		t.Errorf("VGG-13 totals = %d/%d/%d, want 243736/114697/77102", im, sdk, vw)
+	}
+	im, sdk, vw = totals(ResNet18())
+	if im != 20041 || sdk != 7240 || vw != 4294 {
+		t.Errorf("ResNet-18 totals = %d/%d/%d, want 20041/7240/4294", im, sdk, vw)
+	}
+}

@@ -1,0 +1,210 @@
+// Package nn provides the minimal network-level substrate needed to run a
+// complete CNN — convolutions interleaved with activations and pooling —
+// end to end on either the golden convolution or the PIM crossbar
+// simulator, with both paths producing identical feature maps.
+//
+// The paper evaluates per-layer mapping costs; this package closes the loop
+// at the network level: a Model chains conv stages whose executor is
+// pluggable, so the same network can run on conv.Reference and on
+// mapping-executed crossbars and be compared bit-for-bit (extension E16,
+// exercised by examples/cnn and the integration tests).
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/conv"
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// ReLU returns max(0, x) element-wise in a new tensor.
+func ReLU(t *tensor.Tensor3) *tensor.Tensor3 {
+	out := t.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// MaxPool performs k×k max pooling with stride k (the classic VGG pooling);
+// trailing rows/columns that do not fill a window are dropped. It panics on
+// k < 1 or inputs smaller than k (programming errors).
+func MaxPool(t *tensor.Tensor3, k int) *tensor.Tensor3 {
+	if k < 1 || t.H < k || t.W < k {
+		panic(fmt.Sprintf("nn: MaxPool k=%d on %v", k, t))
+	}
+	oh, ow := t.H/k, t.W/k
+	out := tensor.NewTensor3(t.C, oh, ow)
+	for c := 0; c < t.C; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				best := math.Inf(-1)
+				for dy := 0; dy < k; dy++ {
+					for dx := 0; dx < k; dx++ {
+						if v := t.At(c, y*k+dy, x*k+dx); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(c, y, x, best)
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool performs k×k average pooling with stride k; trailing remainder
+// rows/columns are dropped.
+func AvgPool(t *tensor.Tensor3, k int) *tensor.Tensor3 {
+	if k < 1 || t.H < k || t.W < k {
+		panic(fmt.Sprintf("nn: AvgPool k=%d on %v", k, t))
+	}
+	oh, ow := t.H/k, t.W/k
+	out := tensor.NewTensor3(t.C, oh, ow)
+	inv := 1 / float64(k*k)
+	for c := 0; c < t.C; c++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				var sum float64
+				for dy := 0; dy < k; dy++ {
+					for dx := 0; dx < k; dx++ {
+						sum += t.At(c, y*k+dy, x*k+dx)
+					}
+				}
+				out.Set(c, y, x, sum*inv)
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool averages each channel to a single value.
+func GlobalAvgPool(t *tensor.Tensor3) []float64 {
+	out := make([]float64, t.C)
+	inv := 1 / float64(t.H*t.W)
+	for c := 0; c < t.C; c++ {
+		var sum float64
+		for y := 0; y < t.H; y++ {
+			for x := 0; x < t.W; x++ {
+				sum += t.At(c, y, x)
+			}
+		}
+		out[c] = sum * inv
+	}
+	return out
+}
+
+// Stage is one conv block of a Model: a convolution followed by optional
+// ReLU and optional max pooling.
+type Stage struct {
+	// Layer is the convolution geometry; its IW/IH/IC must match the
+	// incoming feature map.
+	Layer core.Layer
+
+	// Weights is the OIHW kernel tensor for the stage.
+	Weights *tensor.Tensor4
+
+	// ReLU applies a rectifier after the convolution.
+	ReLU bool
+
+	// Pool applies Pool×Pool max pooling after the activation; 0 or 1
+	// disables pooling.
+	Pool int
+}
+
+// Model is a feed-forward CNN: a chain of conv stages.
+type Model struct {
+	Name   string
+	Stages []Stage
+}
+
+// ConvExec executes one convolution; implementations are conv.Reference (a
+// golden run) or a crossbar-backed executor (see examples/cnn and the
+// mapping package).
+type ConvExec func(l core.Layer, ifm *tensor.Tensor3, w *tensor.Tensor4) (*tensor.Tensor3, error)
+
+// Reference is the golden ConvExec.
+func Reference(l core.Layer, ifm *tensor.Tensor3, w *tensor.Tensor4) (*tensor.Tensor3, error) {
+	return conv.Reference(l, ifm, w)
+}
+
+// Validate checks that the stage geometries chain: each stage's IFM dims
+// must equal the previous stage's output dims (after pooling).
+func (m *Model) Validate() error {
+	if len(m.Stages) == 0 {
+		return fmt.Errorf("nn: model %q has no stages", m.Name)
+	}
+	c, h, w := m.Stages[0].Layer.IC, m.Stages[0].Layer.IH, m.Stages[0].Layer.IW
+	for i, s := range m.Stages {
+		l := s.Layer.Normalized()
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("nn: stage %d: %w", i, err)
+		}
+		if l.IC != c || l.IH != h || l.IW != w {
+			return fmt.Errorf("nn: stage %d expects %dx%dx%d, previous stage yields %dx%dx%d",
+				i, l.IC, l.IH, l.IW, c, h, w)
+		}
+		if s.Weights == nil || s.Weights.O != l.OC || s.Weights.C != l.IC ||
+			s.Weights.H != l.KH || s.Weights.W != l.KW {
+			return fmt.Errorf("nn: stage %d weights do not match layer %v", i, l)
+		}
+		c, h, w = l.OC, l.OutH(), l.OutW()
+		if s.Pool > 1 {
+			if h < s.Pool || w < s.Pool {
+				return fmt.Errorf("nn: stage %d pool %d exceeds %dx%d output", i, s.Pool, h, w)
+			}
+			h, w = h/s.Pool, w/s.Pool
+		}
+	}
+	return nil
+}
+
+// Infer runs the model on ifm using exec for every convolution and returns
+// the final feature map.
+func (m *Model) Infer(ifm *tensor.Tensor3, exec ConvExec) (*tensor.Tensor3, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	x := ifm
+	for i, s := range m.Stages {
+		y, err := exec(s.Layer.Normalized(), x, s.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("nn: stage %d: %w", i, err)
+		}
+		if s.ReLU {
+			y = ReLU(y)
+		}
+		if s.Pool > 1 {
+			y = MaxPool(y, s.Pool)
+		}
+		x = y
+	}
+	return x, nil
+}
+
+// TinyCNN builds a small, fully chained three-stage CNN with deterministic
+// integer weights, sized to exercise AR/AC tiling on modest arrays:
+// 16x16x3 input → conv3x3(8)+ReLU+pool2 → conv3x3(16)+ReLU → conv3x3(8).
+func TinyCNN(seed uint64) *Model {
+	mk := func(name string, iw, ic, oc int, relu bool, pool int, s uint64) Stage {
+		return Stage{
+			Layer: core.Layer{Name: name, IW: iw, IH: iw,
+				KW: 3, KH: 3, IC: ic, OC: oc},
+			Weights: tensor.RandTensor4(s, oc, ic, 3, 3),
+			ReLU:    relu,
+			Pool:    pool,
+		}
+	}
+	return &Model{
+		Name: "tiny-cnn",
+		Stages: []Stage{
+			mk("conv1", 16, 3, 8, true, 2, seed),
+			mk("conv2", 7, 8, 16, true, 0, seed+1),
+			mk("conv3", 5, 16, 8, false, 0, seed+2),
+		},
+	}
+}

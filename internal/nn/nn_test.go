@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/tensor"
+)
+
+func TestReLU(t *testing.T) {
+	x := tensor.NewTensor3(1, 1, 4)
+	copy(x.Data, []float64{-2, 0, 3, -0.5})
+	y := ReLU(x)
+	want := []float64{0, 0, 3, 0}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Errorf("ReLU[%d] = %v, want %v", i, y.Data[i], want[i])
+		}
+	}
+	if x.Data[0] != -2 {
+		t.Error("ReLU mutated its input")
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	x := tensor.NewTensor3(1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	y := MaxPool(x, 2)
+	if y.H != 2 || y.W != 2 {
+		t.Fatalf("pooled dims %dx%d", y.H, y.W)
+	}
+	// Max of each 2x2 block of the raster 0..15.
+	want := [][]float64{{5, 7}, {13, 15}}
+	for yy := 0; yy < 2; yy++ {
+		for xx := 0; xx < 2; xx++ {
+			if y.At(0, yy, xx) != want[yy][xx] {
+				t.Errorf("pool[%d][%d] = %v, want %v", yy, xx, y.At(0, yy, xx), want[yy][xx])
+			}
+		}
+	}
+	// Remainder rows/cols are dropped.
+	odd := tensor.NewTensor3(1, 5, 5)
+	if p := MaxPool(odd, 2); p.H != 2 || p.W != 2 {
+		t.Errorf("odd pool dims %dx%d", p.H, p.W)
+	}
+}
+
+func TestAvgPool(t *testing.T) {
+	x := tensor.NewTensor3(1, 2, 2)
+	copy(x.Data, []float64{1, 3, 5, 7})
+	y := AvgPool(x, 2)
+	if y.At(0, 0, 0) != 4 {
+		t.Errorf("avg = %v, want 4", y.At(0, 0, 0))
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	x := tensor.NewTensor3(2, 2, 2)
+	copy(x.Data, []float64{1, 2, 3, 4, 10, 10, 10, 10})
+	g := GlobalAvgPool(x)
+	if g[0] != 2.5 || g[1] != 10 {
+		t.Errorf("global avg = %v", g)
+	}
+}
+
+func TestPoolPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MaxPool(tensor.NewTensor3(1, 1, 1), 2) },
+		func() { MaxPool(tensor.NewTensor3(1, 4, 4), 0) },
+		func() { AvgPool(tensor.NewTensor3(1, 1, 1), 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTinyCNNValidates(t *testing.T) {
+	m := TinyCNN(1)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidateRejects(t *testing.T) {
+	if err := (&Model{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty model accepted")
+	}
+	m := TinyCNN(1)
+	m.Stages[1].Layer.IC = 99 // breaks the chain
+	if err := m.Validate(); err == nil {
+		t.Error("broken chain accepted")
+	}
+	m = TinyCNN(1)
+	m.Stages[0].Weights = tensor.NewTensor4(1, 1, 1, 1)
+	if err := m.Validate(); err == nil {
+		t.Error("mismatched weights accepted")
+	}
+	m = TinyCNN(1)
+	m.Stages[2].Pool = 50
+	if err := m.Validate(); err == nil {
+		t.Error("oversized pool accepted")
+	}
+}
+
+func TestInferReferenceShapes(t *testing.T) {
+	m := TinyCNN(2)
+	ifm := tensor.RandTensor3(3, 3, 16, 16)
+	out, err := m.Infer(ifm, Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv1: 16->14, pool -> 7; conv2: 7->5; conv3: 5->3.
+	if out.C != 8 || out.H != 3 || out.W != 3 {
+		t.Fatalf("output %v, want 8x3x3", out)
+	}
+}
+
+// TestEndToEndCrossbarEqualsReference is the E16 integration test: the full
+// tiny CNN inferred with every convolution executed on a simulated PIM
+// crossbar (VW-SDK mappings) equals the pure reference inference exactly.
+func TestEndToEndCrossbarEqualsReference(t *testing.T) {
+	m := TinyCNN(7)
+	ifm := tensor.RandTensor3(8, 3, 16, 16)
+	want, err := m.Infer(ifm, Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	array := core.Array{Rows: 96, Cols: 64}
+	crossbarExec := func(l core.Layer, x *tensor.Tensor3, w *tensor.Tensor4) (*tensor.Tensor3, error) {
+		res, err := core.SearchVWSDK(l, array)
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := mapping.Run(res.Best, x, w)
+		return out, err
+	}
+	got, err := m.Infer(ifm, crossbarExec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("crossbar inference differs (max |diff| %g)", got.MaxAbsDiff(want))
+	}
+}
+
+// TestEndToEndAllSchemes repeats E16 under each mapping scheme.
+func TestEndToEndAllSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full network x 4 schemes")
+	}
+	m := TinyCNN(9)
+	ifm := tensor.RandTensor3(10, 3, 16, 16)
+	want, err := m.Infer(ifm, Reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	array := core.Array{Rows: 96, Cols: 64}
+	schemes := map[string]func(l core.Layer) (core.Mapping, error){
+		"im2col": func(l core.Layer) (core.Mapping, error) { return core.Im2col(l, array) },
+		"smd": func(l core.Layer) (core.Mapping, error) {
+			r, err := core.SearchSMD(l, array)
+			return r.Best, err
+		},
+		"sdk": func(l core.Layer) (core.Mapping, error) {
+			r, err := core.SearchSDK(l, array)
+			return r.Best, err
+		},
+		"vw": func(l core.Layer) (core.Mapping, error) {
+			r, err := core.SearchVWSDK(l, array)
+			return r.Best, err
+		},
+	}
+	for name, pick := range schemes {
+		t.Run(name, func(t *testing.T) {
+			exec := func(l core.Layer, x *tensor.Tensor3, w *tensor.Tensor4) (*tensor.Tensor3, error) {
+				mp, err := pick(l)
+				if err != nil {
+					return nil, err
+				}
+				out, _, err := mapping.Run(mp, x, w)
+				return out, err
+			}
+			got, err := m.Infer(ifm, exec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%s inference differs (max |diff| %g)", name, got.MaxAbsDiff(want))
+			}
+		})
+	}
+}
+
+func TestInferPropagatesExecError(t *testing.T) {
+	m := TinyCNN(1)
+	failing := func(core.Layer, *tensor.Tensor3, *tensor.Tensor4) (*tensor.Tensor3, error) {
+		return nil, fmt.Errorf("boom")
+	}
+	if _, err := m.Infer(tensor.RandTensor3(1, 3, 16, 16), failing); err == nil {
+		t.Fatal("exec error swallowed")
+	}
+}

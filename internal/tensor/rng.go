@@ -1,0 +1,65 @@
+package tensor
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64) used to
+// fill tensors reproducibly across platforms. The zero value is a valid
+// generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator with the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64-bit value of the SplitMix64 sequence.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// IntN returns a value in [0, n) for n > 0.
+func (r *RNG) IntN(n int) int {
+	if n <= 0 {
+		panic("tensor: IntN with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// SmallInt returns an integer in [lo, hi] as a float64; the interval must be
+// non-empty. Small integer values keep simulated sums exactly representable.
+func (r *RNG) SmallInt(lo, hi int) float64 {
+	if hi < lo {
+		panic("tensor: SmallInt with empty range")
+	}
+	return float64(lo + r.IntN(hi-lo+1))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// FillSmallInts fills dst with integers in [lo, hi].
+func (r *RNG) FillSmallInts(dst []float64, lo, hi int) {
+	for i := range dst {
+		dst[i] = r.SmallInt(lo, hi)
+	}
+}
+
+// RandTensor3 returns a c×h×w tensor of small integers in [-4, 4], seeded
+// deterministically.
+func RandTensor3(seed uint64, c, h, w int) *Tensor3 {
+	t := NewTensor3(c, h, w)
+	NewRNG(seed).FillSmallInts(t.Data, -4, 4)
+	return t
+}
+
+// RandTensor4 returns an o×c×h×w weight tensor of small integers in [-4, 4],
+// seeded deterministically.
+func RandTensor4(seed uint64, o, c, h, w int) *Tensor4 {
+	t := NewTensor4(o, c, h, w)
+	NewRNG(seed).FillSmallInts(t.Data, -4, 4)
+	return t
+}

@@ -1,0 +1,305 @@
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTensor3Indexing(t *testing.T) {
+	x := NewTensor3(2, 3, 4)
+	x.Set(1, 2, 3, 7)
+	x.Set(0, 0, 0, -1)
+	if x.At(1, 2, 3) != 7 || x.At(0, 0, 0) != -1 {
+		t.Fatal("Set/At mismatch")
+	}
+	if x.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", x.Len())
+	}
+	// Row-major order: element (1,2,3) is the last.
+	if x.Data[23] != 7 {
+		t.Fatal("layout not C-major row-major")
+	}
+}
+
+func TestTensor3PanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTensor3(0,1,1) did not panic")
+		}
+	}()
+	NewTensor3(0, 1, 1)
+}
+
+func TestTensor3CloneIndependent(t *testing.T) {
+	x := RandTensor3(1, 2, 3, 3)
+	y := x.Clone()
+	if !x.Equal(y) {
+		t.Fatal("clone not equal")
+	}
+	y.Set(0, 0, 0, 99)
+	if x.At(0, 0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestTensor3Pad(t *testing.T) {
+	x := NewTensor3(1, 2, 2)
+	x.Set(0, 0, 0, 1)
+	x.Set(0, 0, 1, 2)
+	x.Set(0, 1, 0, 3)
+	x.Set(0, 1, 1, 4)
+	p := x.Pad(1, 2)
+	if p.H != 4 || p.W != 6 {
+		t.Fatalf("padded dims %dx%d, want 4x6", p.H, p.W)
+	}
+	if p.At(0, 1, 2) != 1 || p.At(0, 2, 3) != 4 {
+		t.Fatal("padded content misplaced")
+	}
+	if p.At(0, 0, 0) != 0 || p.At(0, 3, 5) != 0 {
+		t.Fatal("padding not zero")
+	}
+	// Zero padding clones.
+	q := x.Pad(0, 0)
+	if !q.Equal(x) {
+		t.Fatal("Pad(0,0) != clone")
+	}
+	q.Set(0, 0, 0, 42)
+	if x.At(0, 0, 0) == 42 {
+		t.Fatal("Pad(0,0) shares storage")
+	}
+}
+
+func TestTensor3PadNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative pad did not panic")
+		}
+	}()
+	NewTensor3(1, 1, 1).Pad(-1, 0)
+}
+
+func TestTensor3Compare(t *testing.T) {
+	a := RandTensor3(7, 2, 4, 4)
+	b := a.Clone()
+	if !a.AlmostEqual(b, 0) {
+		t.Fatal("identical tensors not almost equal")
+	}
+	b.Data[5] += 0.5
+	if a.Equal(b) {
+		t.Fatal("different tensors equal")
+	}
+	if a.AlmostEqual(b, 0.4) {
+		t.Fatal("AlmostEqual tolerance not applied")
+	}
+	if !a.AlmostEqual(b, 0.6) {
+		t.Fatal("AlmostEqual rejected within tolerance")
+	}
+	if d := a.MaxAbsDiff(b); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %v, want 0.5", d)
+	}
+	c := NewTensor3(1, 1, 1)
+	if a.Equal(c) || a.AlmostEqual(c, 1e9) {
+		t.Fatal("shape mismatch compared equal")
+	}
+	if !math.IsInf(a.MaxAbsDiff(c), 1) {
+		t.Fatal("MaxAbsDiff on shape mismatch not +Inf")
+	}
+}
+
+func TestTensor4Indexing(t *testing.T) {
+	w := NewTensor4(2, 3, 2, 2)
+	w.Set(1, 2, 1, 1, 5)
+	if w.At(1, 2, 1, 1) != 5 {
+		t.Fatal("Set/At mismatch")
+	}
+	if w.Data[23] != 5 {
+		t.Fatal("layout not O-major")
+	}
+	if w.Len() != 24 {
+		t.Fatal("Len wrong")
+	}
+	v := w.Clone()
+	if !w.Equal(v) {
+		t.Fatal("clone not equal")
+	}
+	v.Set(0, 0, 0, 0, 9)
+	if w.Equal(v) {
+		t.Fatal("Equal missed difference")
+	}
+	if w.Equal(NewTensor4(1, 1, 1, 1)) {
+		t.Fatal("shape mismatch equal")
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	// 3x2 matrix times length-3 vector (crossbar: vector drives rows).
+	m := NewMatrix(3, 2)
+	// columns: [1,2,3] and [4,5,6]
+	m.Set(0, 0, 1)
+	m.Set(1, 0, 2)
+	m.Set(2, 0, 3)
+	m.Set(0, 1, 4)
+	m.Set(1, 1, 5)
+	m.Set(2, 1, 6)
+	out := m.MulVec([]float64{1, 0, -1})
+	if out[0] != 1*1+0*2-1*3 || out[1] != 1*4+0*5-1*6 {
+		t.Fatalf("MulVec = %v", out)
+	}
+}
+
+func TestMatrixMulVecPanicsOnLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVec length mismatch did not panic")
+		}
+	}()
+	NewMatrix(2, 2).MulVec([]float64{1})
+}
+
+func TestMatrixNonZeroAndString(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if m.NonZero() != 0 {
+		t.Fatal("zero matrix has nonzeros")
+	}
+	m.Set(0, 1, 3)
+	m.Set(1, 1, -2)
+	if m.NonZero() != 2 {
+		t.Fatal("NonZero wrong")
+	}
+	s := m.String()
+	if !strings.Contains(s, "Matrix(2x2)") || !strings.Contains(s, "3") {
+		t.Fatalf("String = %q", s)
+	}
+	big := NewMatrix(100, 100)
+	if strings.Count(big.String(), "\n") != 0 {
+		t.Fatal("large matrix should not be dumped")
+	}
+	n := m.Clone()
+	if !m.Equal(n) || m.Equal(NewMatrix(1, 1)) {
+		t.Fatal("Matrix Equal/Clone wrong")
+	}
+	n.Set(0, 0, 1)
+	if m.Equal(n) {
+		t.Fatal("Equal missed difference")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("RNG not deterministic")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.IntN(5); v < 0 || v >= 5 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+		if v := r.SmallInt(-3, 3); v < -3 || v > 3 || v != math.Trunc(v) {
+			t.Fatalf("SmallInt out of range: %v", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGPanics(t *testing.T) {
+	r := NewRNG(1)
+	for _, f := range []func(){
+		func() { r.IntN(0) },
+		func() { r.SmallInt(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandTensors(t *testing.T) {
+	x := RandTensor3(3, 2, 4, 4)
+	y := RandTensor3(3, 2, 4, 4)
+	if !x.Equal(y) {
+		t.Fatal("same seed produced different tensors")
+	}
+	w := RandTensor4(5, 2, 2, 3, 3)
+	v := RandTensor4(5, 2, 2, 3, 3)
+	if !w.Equal(v) {
+		t.Fatal("same seed produced different weights")
+	}
+	for _, d := range x.Data {
+		if d < -4 || d > 4 || d != math.Trunc(d) {
+			t.Fatalf("fill value %v outside small-int range", d)
+		}
+	}
+}
+
+// Property: Pad preserves the interior exactly and MulVec is linear.
+func TestPadPreservesInterior(t *testing.T) {
+	f := func(seed uint64, c, h, w, ph, pw uint8) bool {
+		x := RandTensor3(seed, int(c%3)+1, int(h%6)+1, int(w%6)+1)
+		p := x.Pad(int(ph%3), int(pw%3))
+		for cc := 0; cc < x.C; cc++ {
+			for y := 0; y < x.H; y++ {
+				for xx := 0; xx < x.W; xx++ {
+					if p.At(cc, y+int(ph%3), xx+int(pw%3)) != x.At(cc, y, xx) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m := NewMatrix(6, 4)
+		r.FillSmallInts(m.Data, -3, 3)
+		a := make([]float64, 6)
+		b := make([]float64, 6)
+		r.FillSmallInts(a, -3, 3)
+		r.FillSmallInts(b, -3, 3)
+		sum := make([]float64, 6)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		oa, ob, os := m.MulVec(a), m.MulVec(b), m.MulVec(sum)
+		for i := range os {
+			if os[i] != oa[i]+ob[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

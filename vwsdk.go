@@ -1,0 +1,239 @@
+// Package vwsdk is the public API of the VW-SDK reproduction: efficient
+// convolutional weight mapping using variable windows for processing-in-
+// memory (PIM) architectures (Rhe, Moon, Ko — DATE 2022).
+//
+// The package finds, for a convolutional layer and a PIM crossbar array, the
+// parallel-window shape and channel tiling that minimize computing cycles:
+//
+//	layer := vwsdk.Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+//	array := vwsdk.Array{Rows: 512, Cols: 512}
+//	res, err := vwsdk.SearchVWSDK(layer, array)
+//	// res.Best.TileString() == "4x3x42x256", res.Best.Cycles == 504
+//
+// Beyond the optimizer it bundles everything needed to reproduce the paper
+// and to validate mappings end to end:
+//
+//   - cost models and searches for the im2col, SMD and SDK baselines;
+//   - a functional crossbar simulator with optional quantization and read
+//     noise, on which any mapping can be executed and verified bit-for-bit
+//     against a reference convolution (Verify, RunOnCrossbar);
+//   - the paper's model zoo (VGG-13, ResNet-18) plus extras;
+//   - a latency/energy estimator (conversion-dominated, per the paper);
+//   - generators for every table and figure of the paper's evaluation
+//     (Experiments, ExperimentTableI, ...).
+//
+// The implementation lives in internal/ packages; this package re-exports
+// the stable surface via type aliases, so the types below are identical to
+// the ones used throughout the repository.
+package vwsdk
+
+import (
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/experiments"
+	"repro/internal/mapping"
+	"repro/internal/model"
+	"repro/internal/pimarray"
+	"repro/internal/tensor"
+)
+
+// Layer describes a convolutional layer (IFM size, kernel, channels, stride,
+// padding). See core.Layer.
+type Layer = core.Layer
+
+// Array describes a PIM crossbar as Rows×Cols cells. See core.Array.
+type Array = core.Array
+
+// Window is a parallel-window shape. See core.Window.
+type Window = core.Window
+
+// Mapping is a costed mapping decision. See core.Mapping.
+type Mapping = core.Mapping
+
+// TileShape describes one computing cycle's array occupancy. See
+// core.TileShape.
+type TileShape = core.TileShape
+
+// Scheme identifies a mapping scheme.
+type Scheme = core.Scheme
+
+// Mapping schemes.
+const (
+	SchemeIm2col = core.SchemeIm2col
+	SchemeSMD    = core.SchemeSMD
+	SchemeSDK    = core.SchemeSDK
+	SchemeVWSDK  = core.SchemeVWSDK
+)
+
+// SearchResult is the outcome of a mapping search. See core.Result.
+type SearchResult = core.Result
+
+// Variant selects an ablation of the VW-SDK search.
+type Variant = core.Variant
+
+// Ablation variants (DESIGN.md §5).
+const (
+	VariantFull            = core.VariantFull
+	VariantSquareTiled     = core.VariantSquareTiled
+	VariantRectFullChannel = core.VariantRectFullChannel
+)
+
+// ErrInfeasible marks windows that cannot be mapped at all.
+var ErrInfeasible = core.ErrInfeasible
+
+// Im2col costs the im2col mapping (paper Fig. 2a).
+func Im2col(l Layer, a Array) (Mapping, error) { return core.Im2col(l, a) }
+
+// SMD costs sub-matrix duplication with the given factor (paper Fig. 2b).
+func SMD(l Layer, a Array, dup int) (Mapping, error) { return core.SMD(l, a, dup) }
+
+// SDK costs the shifted-and-duplicated-kernel baseline for a square window
+// with entire channels (paper Fig. 2c).
+func SDK(l Layer, a Array, pw Window) (Mapping, error) { return core.SDK(l, a, pw) }
+
+// VW costs the paper's variable-window mapping for one window (eqs. 3–8).
+func VW(l Layer, a Array, pw Window) (Mapping, error) { return core.VW(l, a, pw) }
+
+// SearchVWSDK runs Algorithm 1: the optimal parallel-window search.
+func SearchVWSDK(l Layer, a Array) (SearchResult, error) { return core.SearchVWSDK(l, a) }
+
+// SearchSDK runs the square-window SDK baseline search.
+func SearchSDK(l Layer, a Array) (SearchResult, error) { return core.SearchSDK(l, a) }
+
+// SearchSMD runs the sub-matrix-duplication baseline search.
+func SearchSMD(l Layer, a Array) (SearchResult, error) { return core.SearchSMD(l, a) }
+
+// SearchVariant runs an ablated VW-SDK search.
+func SearchVariant(l Layer, a Array, v Variant) (SearchResult, error) {
+	return core.SearchVariant(l, a, v)
+}
+
+// Network is a named list of conv layers. See model.Network.
+type Network = model.Network
+
+// ConvLayer is a network entry with an occurrence count.
+type ConvLayer = model.ConvLayer
+
+// VGG13 returns the paper's VGG-13 layer table (Table I).
+func VGG13() Network { return model.VGG13() }
+
+// ResNet18 returns the paper's ResNet-18 layer table (Table I).
+func ResNet18() Network { return model.ResNet18() }
+
+// VGG16 returns a VGG-16 layer table (extra network).
+func VGG16() Network { return model.VGG16() }
+
+// AlexNet returns an AlexNet layer table (extra network, strided conv1).
+func AlexNet() Network { return model.AlexNet() }
+
+// Networks returns every predefined network.
+func Networks() []Network { return model.All() }
+
+// NetworkByName looks a predefined network up by its name, e.g. "VGG-13".
+func NetworkByName(name string) (Network, error) { return model.ByName(name) }
+
+// FeatureMap is a C×H×W activation tensor.
+type FeatureMap = tensor.Tensor3
+
+// Weights is an O×C×H×W kernel tensor.
+type Weights = tensor.Tensor4
+
+// NewFeatureMap allocates a zeroed C×H×W feature map.
+func NewFeatureMap(c, h, w int) *FeatureMap { return tensor.NewTensor3(c, h, w) }
+
+// NewWeights allocates a zeroed O×C×H×W weight tensor.
+func NewWeights(o, c, h, w int) *Weights { return tensor.NewTensor4(o, c, h, w) }
+
+// RandFeatureMap returns a deterministic random integer feature map,
+// suitable for exact functional verification.
+func RandFeatureMap(seed uint64, c, h, w int) *FeatureMap {
+	return tensor.RandTensor3(seed, c, h, w)
+}
+
+// RandWeights returns deterministic random integer weights.
+func RandWeights(seed uint64, o, c, h, w int) *Weights {
+	return tensor.RandTensor4(seed, o, c, h, w)
+}
+
+// Plan is a physical execution plan for a mapping. See mapping.Plan.
+type Plan = mapping.Plan
+
+// NewPlan builds the physical weight-placement plan for a costed mapping.
+func NewPlan(m Mapping) (*Plan, error) { return mapping.NewPlan(m) }
+
+// CrossbarStats are the per-run statistics of the simulated crossbar.
+type CrossbarStats = pimarray.Stats
+
+// CrossbarOption configures crossbar non-idealities.
+type CrossbarOption = pimarray.Option
+
+// WithQuantization programs weights at limited precision. See
+// pimarray.WithQuantization.
+func WithQuantization(bits int, maxAbs float64) CrossbarOption {
+	return pimarray.WithQuantization(bits, maxAbs)
+}
+
+// WithReadNoise adds deterministic Gaussian read noise. See
+// pimarray.WithReadNoise.
+func WithReadNoise(sigma float64, seed uint64) CrossbarOption {
+	return pimarray.WithReadNoise(sigma, seed)
+}
+
+// RunOnCrossbar executes mapping m on a simulated crossbar of m.Array's size
+// and returns the output feature map with the run statistics.
+func RunOnCrossbar(m Mapping, ifm *FeatureMap, w *Weights, opts ...CrossbarOption) (*FeatureMap, CrossbarStats, error) {
+	return mapping.Run(m, ifm, w, opts...)
+}
+
+// Verify executes mapping m on deterministic inputs and compares the
+// crossbar output bit-for-bit with the reference convolution.
+func Verify(m Mapping, seed uint64) error { return mapping.Verify(m, seed) }
+
+// VerifyAllSchemes verifies layer l on array a under all four schemes.
+func VerifyAllSchemes(l Layer, a Array, seed uint64) error {
+	return mapping.VerifyAllSchemes(l, a, seed)
+}
+
+// EnergyModel holds latency/energy constants. See energy.Model.
+type EnergyModel = energy.Model
+
+// EnergyReport is a latency/energy estimate. See energy.Report.
+type EnergyReport = energy.Report
+
+// DefaultEnergyModel returns the synthetic reference constants under which
+// conversions dominate (>98%), as the paper assumes.
+func DefaultEnergyModel() EnergyModel { return energy.Default() }
+
+// Experiment is one regenerated table or figure of the paper.
+type Experiment = experiments.Result
+
+// Experiments regenerates every table and figure of the paper's evaluation
+// plus the documented extensions (DESIGN.md §4).
+func Experiments() ([]*Experiment, error) { return experiments.All() }
+
+// PaperArray is the 512×512 array the paper evaluates on.
+var PaperArray = experiments.Array512
+
+// ExperimentTableI regenerates the paper's Table I on array a.
+func ExperimentTableI(a Array) (*Experiment, error) { return experiments.TableI(a) }
+
+// ExperimentFig8a regenerates Fig. 8(a) (per-layer speedups) on array a.
+func ExperimentFig8a(a Array) (*Experiment, error) { return experiments.Fig8a(a) }
+
+// ExperimentFig8b regenerates Fig. 8(b) (speedup vs array size).
+func ExperimentFig8b() (*Experiment, error) { return experiments.Fig8b() }
+
+// ExperimentFig9a regenerates Fig. 9(a) (utilization per layer) on array a.
+func ExperimentFig9a(a Array) (*Experiment, error) { return experiments.Fig9a(a) }
+
+// NetworkResult aggregates per-layer search results and network totals.
+type NetworkResult = core.NetworkResult
+
+// SearchNetwork optimizes every layer concurrently and sums the totals.
+func SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
+	return core.SearchNetwork(layers, a)
+}
+
+// ExplainSearch renders a step-by-step, equation-referenced derivation of a
+// search result (see Mapping.Explain via core).
+func ExplainSearch(r SearchResult) string { return core.ExplainSearch(r) }

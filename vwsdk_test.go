@@ -1,0 +1,285 @@
+package vwsdk
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestQuickstart exercises the documented quickstart flow end to end.
+func TestQuickstart(t *testing.T) {
+	layer := Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	array := Array{Rows: 512, Cols: 512}
+	res, err := SearchVWSDK(layer, array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Best.TileString(); got != "4x3x42x256" {
+		t.Errorf("TileString = %q, want 4x3x42x256 (paper Table I)", got)
+	}
+	if res.Best.Cycles != 504 {
+		t.Errorf("cycles = %d, want 504", res.Best.Cycles)
+	}
+	if sp := res.SpeedupVsIm2col(); sp < 1.42 || sp > 1.44 {
+		t.Errorf("speedup = %v, want ≈1.43", sp)
+	}
+}
+
+func TestFacadeCostFunctions(t *testing.T) {
+	l := Layer{IW: 10, IH: 10, KW: 3, KH: 3, IC: 4, OC: 8}
+	a := Array{Rows: 128, Cols: 128}
+	if _, err := Im2col(l, a); err != nil {
+		t.Error(err)
+	}
+	if _, err := SMD(l, a, 2); err != nil {
+		t.Error(err)
+	}
+	if _, err := SDK(l, a, Window{W: 4, H: 4}); err != nil {
+		t.Error(err)
+	}
+	if _, err := VW(l, a, Window{W: 4, H: 3}); err != nil {
+		t.Error(err)
+	}
+	if _, err := SearchSDK(l, a); err != nil {
+		t.Error(err)
+	}
+	if _, err := SearchSMD(l, a); err != nil {
+		t.Error(err)
+	}
+	if _, err := SearchVariant(l, a, VariantSquareTiled); err != nil {
+		t.Error(err)
+	}
+	if _, err := VW(l, Array{Rows: 8, Cols: 8}, Window{W: 10, H: 10}); !errors.Is(err, ErrInfeasible) {
+		t.Error("ErrInfeasible alias broken")
+	}
+}
+
+func TestFacadeNetworks(t *testing.T) {
+	if len(Networks()) != 4 {
+		t.Errorf("Networks() = %d entries, want 4", len(Networks()))
+	}
+	n, err := NetworkByName("ResNet-18")
+	if err != nil || len(n.Layers) != 5 {
+		t.Fatalf("NetworkByName: %v, %d layers", err, len(n.Layers))
+	}
+	if VGG13().Name != "VGG-13" || ResNet18().Name != "ResNet-18" ||
+		VGG16().Name != "VGG-16" || AlexNet().Name != "AlexNet" {
+		t.Error("zoo constructors mislabeled")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	l := Layer{IW: 8, IH: 8, KW: 3, KH: 3, IC: 3, OC: 4}
+	a := Array{Rows: 32, Cols: 16}
+	m, err := VW(l, a, Window{W: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(m, 99); err != nil {
+		t.Fatal(err)
+	}
+	ifm := RandFeatureMap(1, l.IC, l.IH, l.IW)
+	w := RandWeights(2, l.OC, l.IC, l.KH, l.KW)
+	out, stats, err := RunOnCrossbar(m, ifm, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cycles != m.Cycles {
+		t.Errorf("stats cycles = %d, want %d", stats.Cycles, m.Cycles)
+	}
+	if out.C != l.OC || out.H != l.OutH() || out.W != l.OutW() {
+		t.Errorf("output shape %v", out)
+	}
+	if _, _, err := RunOnCrossbar(m, ifm, w, WithQuantization(8, 4), WithReadNoise(0.001, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAllSchemes(l, a, 5); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tiles) == 0 || len(p.Positions) == 0 {
+		t.Error("plan empty")
+	}
+	fm := NewFeatureMap(1, 2, 2)
+	if fm.Len() != 4 {
+		t.Error("NewFeatureMap wrong")
+	}
+	if NewWeights(1, 1, 2, 2).Len() != 4 {
+		t.Error("NewWeights wrong")
+	}
+}
+
+func TestFacadeEnergy(t *testing.T) {
+	mdl := DefaultEnergyModel()
+	l := Layer{IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	res, err := SearchVWSDK(l, PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mdl.Estimate(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles != 504 || rep.EnergyTotal <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	r, err := ExperimentTableI(PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary["resnet18/vw-cycles"] != 4294 {
+		t.Errorf("Table I resnet vw = %v, want 4294", r.Summary["resnet18/vw-cycles"])
+	}
+	if !strings.Contains(r.String(), "Table I") {
+		t.Error("experiment rendering broken")
+	}
+	if _, err := ExperimentFig8a(PaperArray); err != nil {
+		t.Error(err)
+	}
+	if _, err := ExperimentFig8b(); err != nil {
+		t.Error(err)
+	}
+	if _, err := ExperimentFig9a(PaperArray); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemeConstantsRoundTrip(t *testing.T) {
+	for s, name := range map[Scheme]string{
+		SchemeIm2col: "im2col",
+		SchemeSMD:    "SMD",
+		SchemeSDK:    "SDK",
+		SchemeVWSDK:  "VW-SDK",
+	} {
+		if s.String() != name {
+			t.Errorf("scheme %d = %q, want %q", int(s), s.String(), name)
+		}
+	}
+	if VariantFull.String() != "full" {
+		t.Error("variant alias broken")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	l := Layer{IW: 9, IH: 8, KW: 3, KH: 3, IC: 4, OC: 6}
+	a := Array{Rows: 64, Cols: 48}
+
+	// Bit slicing: full precision equals the base search; an 8-bit/1-bit
+	// config is strictly slower; the bit-sliced run is exact.
+	base, err := SearchVWSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := SearchVWSDKWithPrecision(l, a, FullPrecision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Best.Cycles != base.Best.Cycles {
+		t.Errorf("full precision cycles %d != base %d", full.Best.Cycles, base.Best.Cycles)
+	}
+	p := Precision{WeightBits: 4, CellBits: 2, InputBits: 4, DACBits: 2}
+	m, err := VW(l, a, Window{W: 4, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ifm := RandFeatureMap(1, l.IC, l.IH, l.IW)
+	w := RandWeights(2, l.OC, l.IC, l.KH, l.KW)
+	want, _, err := RunOnCrossbar(m, ifm, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RunBitSliced(m, p, ifm, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Error("bit-sliced run differs from ideal run")
+	}
+	if _, err := CostWithPrecision(l, a, Window{W: 4, H: 4}, p); err != nil {
+		t.Error(err)
+	}
+	vals := []float64{9, -9}
+	QuantizeValues(vals, 3)
+	if vals[0] != 3 || vals[1] != -4 {
+		t.Errorf("QuantizeValues = %v", vals)
+	}
+
+	// Chip scheduling.
+	s, err := ScheduleLayer(base.Best, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan <= 0 {
+		t.Error("empty layer schedule")
+	}
+	ns, err := ScheduleNetwork([]Mapping{base.Best, m}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns.Layers) != 2 {
+		t.Error("network schedule missing layers")
+	}
+
+	// Network-level inference: TinyCNN on crossbar == reference.
+	cnn := TinyCNN(5)
+	input := RandFeatureMap(6, 3, 16, 16)
+	ref, err := cnn.Infer(input, ReferenceConv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xbar := func(l Layer, x *FeatureMap, wt *Weights) (*FeatureMap, error) {
+		r, err := SearchVWSDK(l, Array{Rows: 96, Cols: 64})
+		if err != nil {
+			return nil, err
+		}
+		out, _, err := RunOnCrossbar(r.Best, x, wt)
+		return out, err
+	}
+	onPIM, err := cnn.Infer(input, xbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onPIM.Equal(ref) {
+		t.Error("network inference on crossbar differs from reference")
+	}
+	if g := GlobalAvgPool(ref); len(g) != 8 {
+		t.Errorf("GlobalAvgPool len = %d", len(g))
+	}
+	if ReLU(ref).Len() != ref.Len() {
+		t.Error("ReLU changed shape")
+	}
+	if MaxPool(ref, 1).Len() != ref.Len() {
+		t.Error("MaxPool k=1 changed shape")
+	}
+	if AvgPool(ref, 3).C != ref.C {
+		t.Error("AvgPool changed channels")
+	}
+
+	// Fault injection through the facade.
+	faulty, _, err := RunOnCrossbar(m, ifm, w, WithStuckCells(0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Equal(want) {
+		t.Error("50% stuck cells had no effect")
+	}
+}
+
+func TestFacadeSearchNetwork(t *testing.T) {
+	nr, err := SearchNetwork(ResNet18().CoreLayers(), PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.TotalCycles != 4294 {
+		t.Errorf("network total = %d, want 4294", nr.TotalCycles)
+	}
+	if s := nr.Speedup(); s < 4.66 || s > 4.68 {
+		t.Errorf("speedup = %v, want 4.67", s)
+	}
+}
