@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/mapping"
 )
@@ -253,4 +254,80 @@ func BenchmarkReuse(b *testing.B) {
 	benchExperiment(b, func() (*experiments.Result, error) {
 		return experiments.Reuse(experiments.Array512)
 	})
+}
+
+// The network-sweep benchmarks compare the serial per-layer search loop
+// with the engine-backed parallel sweep on the Table-I workload (both paper
+// networks across the paper's five array sizes). "Cold" builds a fresh
+// engine per iteration, so it measures pooled candidate evaluation plus
+// intra-sweep dedup of repeated layer shapes; "Warm" shares one engine
+// across iterations, the steady state of a server re-answering known
+// (layer, array) pairs from its LRU cache.
+
+func sweepNetworks() []Network { return []Network{VGG13(), ResNet18()} }
+
+// BenchmarkNetworkSweepSerial is the baseline: every (network, array, layer)
+// costed from scratch with the serial Algorithm 1.
+func BenchmarkNetworkSweepSerial(b *testing.B) {
+	nets := sweepNetworks()
+	for i := 0; i < b.N; i++ {
+		var total int64
+		for _, n := range nets {
+			for _, a := range experiments.PaperArrays {
+				for _, l := range n.CoreLayers() {
+					res, err := core.SearchVWSDK(l, a)
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += res.Best.Cycles
+				}
+			}
+		}
+		if total == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+}
+
+// BenchmarkNetworkSweepEngineCold runs the same sweep through a fresh
+// engine each iteration.
+func BenchmarkNetworkSweepEngineCold(b *testing.B) {
+	nets := sweepNetworks()
+	for i := 0; i < b.N; i++ {
+		eng := engine.New()
+		cells := eng.Sweep(nets, experiments.PaperArrays, nil)
+		for _, c := range cells {
+			if c.Err != nil {
+				b.Fatal(c.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkNetworkSweepEngineWarm shares one engine across iterations.
+func BenchmarkNetworkSweepEngineWarm(b *testing.B) {
+	nets := sweepNetworks()
+	eng := engine.New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := eng.Sweep(nets, experiments.PaperArrays, nil)
+		for _, c := range cells {
+			if c.Err != nil {
+				b.Fatal(c.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSearchVWSDKEngine measures the engine's pooled Algorithm 1 on
+// the largest single-layer sweep (VGG conv1's 224x224 IFM, ~49k candidate
+// windows), cache disabled so every iteration costs the full sweep.
+func BenchmarkSearchVWSDKEngine(b *testing.B) {
+	l := Layer{Name: "vgg-conv1", IW: 224, IH: 224, KW: 3, KH: 3, IC: 3, OC: 64}
+	eng := engine.New(engine.WithCacheSize(0))
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SearchVWSDK(l, experiments.Array512); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,19 +1,25 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (Table I, Figs. 4, 5, 7, 8, 9) plus the documented extensions
 // (ablation, energy, functional verification), printing them and optionally
-// writing one .txt and one .csv file per artifact.
+// writing one .txt and one .csv file per artifact. Searches run through the
+// concurrent engine; repeated (layer, array) pairs across experiments are
+// costed once.
 //
-// Example:
+// Examples:
 //
 //	experiments -out results
+//	experiments -only table1,fig8a -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
 )
 
@@ -24,15 +30,26 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	outDir := fs.String("out", "", "directory for per-experiment .txt/.csv files (skipped when empty)")
 	quiet := fs.Bool("quiet", false, "print only one summary line per experiment")
+	only := fs.String("only", "", fmt.Sprintf("comma-separated experiment ids to run (default all; have %v)",
+		strings.Join(experiments.IDs(), ",")))
+	workers := fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	results, err := experiments.All()
+	var ids []string
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	results, err := experiments.Run(engine.New(engine.WithWorkers(*workers)), ids...)
 	if err != nil {
 		return err
 	}

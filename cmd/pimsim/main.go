@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cliutil"
@@ -58,7 +59,7 @@ func pickMapping(scheme string, l core.Layer, a core.Array) (core.Mapping, error
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("pimsim", flag.ContinueOnError)
 	var (
 		arraySp = fs.String("array", "512x512", "PIM array size RowsxCols")

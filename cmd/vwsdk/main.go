@@ -14,11 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/chip"
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/textplot"
 )
@@ -30,13 +32,14 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vwsdk", flag.ContinueOnError)
 	var (
 		network = fs.String("network", "", "predefined network (VGG-13, ResNet-18, VGG-16, AlexNet); overrides the layer flags")
 		arraySp = fs.String("array", "512x512", "PIM array size RowsxCols")
 		nArrays = fs.Int("arrays", 1, "number of crossbars on the chip (multi-array makespan)")
 		explain = fs.Bool("explain", false, "print the equation-by-equation derivation (single layer only)")
+		workers = fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		lf      cliutil.LayerFlags
 	)
@@ -53,6 +56,10 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	// All searches run through one engine: per-layer candidate sweeps fan
+	// across the worker pool, and the multi-array section below reuses the
+	// cached per-layer results instead of re-searching.
+	eng := engine.New(engine.WithWorkers(*workers))
 
 	var layers []core.Layer
 	title := ""
@@ -75,7 +82,7 @@ func run(args []string, out *os.File) error {
 		if len(layers) != 1 {
 			return fmt.Errorf("-explain works on a single layer, not a network")
 		}
-		res, err := core.SearchVWSDK(layers[0], a)
+		res, err := eng.SearchVWSDK(layers[0], a)
 		if err != nil {
 			return err
 		}
@@ -94,15 +101,15 @@ func run(args []string, out *os.File) error {
 		if err != nil {
 			return err
 		}
-		smd, err := core.SearchSMD(l, a)
+		smd, err := eng.SearchSMD(l, a)
 		if err != nil {
 			return err
 		}
-		sdk, err := core.SearchSDK(l, a)
+		sdk, err := eng.SearchSDK(l, a)
 		if err != nil {
 			return err
 		}
-		vw, err := core.SearchVWSDK(l, a)
+		vw, err := eng.SearchVWSDK(l, a)
 		if err != nil {
 			return err
 		}
@@ -129,7 +136,7 @@ func run(args []string, out *os.File) error {
 	if *nArrays > 1 {
 		var vwMaps []core.Mapping
 		for _, l := range layers {
-			r, err := core.SearchVWSDK(l, a)
+			r, err := eng.SearchVWSDK(l, a)
 			if err != nil {
 				return err
 			}

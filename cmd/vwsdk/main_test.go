@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSingleLayer drives the optimizer end to end on the paper's running
+// example (ResNet-18 conv4 on 512x512) and checks the Table I cell.
+func TestRunSingleLayer(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-ifm", "14x14", "-kernel", "3x3", "-ic", "256", "-oc", "256",
+		"-array", "512x512"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"4x3x42x256", "504", "im2col"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunNetworkCSV exercises the predefined-network path with CSV output
+// and an explicit worker count.
+func TestRunNetworkCSV(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-network", "ResNet-18", "-array", "512x512", "-csv", "-workers", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "total") {
+		t.Errorf("CSV missing total row:\n%s", got)
+	}
+	// Paper Table I: ResNet-18 VW-SDK total is 4294 cycles.
+	if !strings.Contains(got, "4294") {
+		t.Errorf("CSV missing ResNet-18 VW total 4294:\n%s", got)
+	}
+}
+
+// TestRunMultiArray exercises the chip-scheduling branch.
+func TestRunMultiArray(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-ifm", "14x14", "-kernel", "3x3", "-ic", "64", "-oc", "64",
+		"-array", "256x256", "-arrays", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "chip with 4 arrays") {
+		t.Errorf("missing chip summary:\n%s", out.String())
+	}
+}
+
+// TestRunExplain checks the derivation path stays single-layer only.
+func TestRunExplain(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-explain", "-ifm", "14x14", "-kernel", "3x3",
+		"-ic", "256", "-oc", "256"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "im2col") {
+		t.Errorf("explain output unexpectedly empty:\n%s", out.String())
+	}
+	if err := run([]string{"-explain", "-network", "VGG-13"}, &out); err == nil {
+		t.Error("explain on a whole network should error")
+	}
+}
+
+// TestRunBadFlags covers flag-parsing failures.
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-array", "0x512"},
+		{"-array", "one"},
+		{"-network", "LeNet-5"},
+		{"-ifm", "2x2", "-kernel", "3x3"},
+		{"-nonsense"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

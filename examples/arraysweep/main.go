@@ -1,6 +1,7 @@
 // Array sweep: show how the optimal parallel window changes with the PIM
 // array size (the paper's Fig. 8(b) observation that VW-SDK gains more on
-// larger arrays), for a user-defined layer.
+// larger arrays), for a user-defined layer — running every search through
+// one concurrent, memoizing engine.
 //
 // Run with: go run ./examples/arraysweep
 package main
@@ -31,6 +32,11 @@ func main() {
 		{Rows: 2048, Cols: 2048},
 	}
 
+	// One engine serves the whole sweep: candidate windows are costed
+	// across its worker pool, and the ablation section below gets the full
+	// search's per-array results for free from its cache.
+	eng := vwsdk.NewEngine()
+
 	fmt.Printf("optimal VW-SDK mapping of %v across array sizes\n\n", layer)
 	fmt.Printf("%-10s %14s %14s %10s %10s %8s\n",
 		"array", "window (tile)", "im2col cycles", "VW cycles", "speedup", "util %")
@@ -39,7 +45,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		vw, err := vwsdk.SearchVWSDK(layer, a)
+		vw, err := eng.SearchVWSDK(layer, a)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,18 +58,23 @@ func main() {
 	fmt.Println("cycle, so the speedup over im2col keeps growing — the paper's")
 	fmt.Println("closing argument for VW-SDK on future PIM arrays.")
 
-	// The same sweep for the ablated searches at one size, to show where
-	// the gain comes from.
-	a := vwsdk.Array{Rows: 512, Cols: 512}
-	fmt.Printf("\nablation at %v:\n", a)
-	for _, v := range []vwsdk.Variant{
+	// The same layer through the batch Sweep API: one network × the array
+	// list × every ablation variant, fanned across the pool in one call.
+	net := vwsdk.Network{Name: "conv5-only", Layers: []vwsdk.ConvLayer{{Layer: layer, Count: 1}}}
+	variants := []vwsdk.Variant{
 		vwsdk.VariantFull, vwsdk.VariantSquareTiled, vwsdk.VariantRectFullChannel,
-	} {
-		r, err := vwsdk.SearchVariant(layer, a, v)
-		if err != nil {
-			log.Fatal(err)
+	}
+	fmt.Printf("\nablation sweep (networks x arrays x variants via Engine.Sweep):\n")
+	a := vwsdk.Array{Rows: 512, Cols: 512}
+	for _, cell := range eng.Sweep([]vwsdk.Network{net}, []vwsdk.Array{a}, variants) {
+		if cell.Err != nil {
+			log.Fatal(cell.Err)
 		}
 		fmt.Printf("  %-20s %6d cycles (%.2fx vs im2col)\n",
-			v, r.Best.Cycles, r.SpeedupVsIm2col())
+			cell.Cell.Variant, cell.Result.TotalCycles, cell.Speedup())
 	}
+
+	st := eng.Stats()
+	fmt.Printf("\nengine: %d searches, %d cache hits, %d computed (workers %d)\n",
+		st.Searches, st.CacheHits, st.CacheMisses, eng.Workers())
 }

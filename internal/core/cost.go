@@ -222,17 +222,37 @@ func VW(l Layer, a Array, pw Window) (Mapping, error) {
 	if err := checkWindow(l, a, pw); err != nil {
 		return Mapping{}, err
 	}
+	m, err := SweepVW(l, a, pw)
+	if err != nil {
+		// Re-wrap the bare sentinel with the diagnostic detail direct
+		// callers expect.
+		nwW := windowsInside(pw.W, l.KW, l.StrideW)
+		nwH := windowsInside(pw.H, l.KH, l.StrideH)
+		if a.Rows/pw.Area() < 1 {
+			return Mapping{}, fmt.Errorf("core: window %s needs %d rows/channel, array %s: %w",
+				pw, pw.Area(), a, ErrInfeasible)
+		}
+		return Mapping{}, fmt.Errorf("core: window %s has %d windows, array %s columns: %w",
+			pw, nwW*nwH, a, ErrInfeasible)
+	}
+	return m, nil
+}
+
+// SweepVW costs one variable-window candidate like VW but is tuned for
+// exhaustive sweeps: it assumes l is already normalized and validated and
+// pw lies within [kernel, padded IFM], and it reports infeasibility as the
+// bare ErrInfeasible sentinel. Algorithm 1 costs every window of the padded
+// IFM — tens of thousands of candidates on early VGG layers, most
+// infeasible on small arrays — and formatting the discarded error strings
+// dominated the search profile (>80% of CPU samples), so the sweeps must
+// not allocate per rejected candidate.
+func SweepVW(l Layer, a Array, pw Window) (Mapping, error) {
 	nwW := windowsInside(pw.W, l.KW, l.StrideW)
 	nwH := windowsInside(pw.H, l.KH, l.StrideH)
 	ict := a.Rows / pw.Area()
 	oct := a.Cols / (nwW * nwH)
-	if ict < 1 {
-		return Mapping{}, fmt.Errorf("core: window %s needs %d rows/channel, array %s: %w",
-			pw, pw.Area(), a, ErrInfeasible)
-	}
-	if oct < 1 {
-		return Mapping{}, fmt.Errorf("core: window %s has %d windows, array %s columns: %w",
-			pw, nwW*nwH, a, ErrInfeasible)
+	if ict < 1 || oct < 1 {
+		return Mapping{}, ErrInfeasible
 	}
 	ict = min(ict, l.IC)
 	oct = min(oct, l.OC)

@@ -29,20 +29,44 @@ func (n NetworkResult) Speedup() float64 {
 // searches are independent) and aggregates the totals. Results are returned
 // in layer order regardless of completion order; the first error wins.
 func SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
+	return SearchNetworkWith(layers, a, SearchVWSDK)
+}
+
+// SearchNetworkWith is SearchNetwork with a caller-chosen per-layer search
+// running one goroutine per layer; internal/engine aggregates its pooled
+// searches through the same loop so the two paths cannot diverge.
+func SearchNetworkWith(layers []Layer, a Array, search func(Layer, Array) (Result, error)) (NetworkResult, error) {
+	return searchNetwork(layers, a, search, true)
+}
+
+// SearchNetworkSeq is SearchNetworkWith without the per-layer goroutines,
+// for callers that already serialize work (e.g. a single-worker engine,
+// where goroutine-per-layer only adds scheduler churn).
+func SearchNetworkSeq(layers []Layer, a Array, search func(Layer, Array) (Result, error)) (NetworkResult, error) {
+	return searchNetwork(layers, a, search, false)
+}
+
+func searchNetwork(layers []Layer, a Array, search func(Layer, Array) (Result, error), parallel bool) (NetworkResult, error) {
 	if len(layers) == 0 {
 		return NetworkResult{}, fmt.Errorf("core: SearchNetwork with no layers")
 	}
 	results := make([]Result, len(layers))
 	errs := make([]error, len(layers))
-	var wg sync.WaitGroup
-	for i, l := range layers {
-		wg.Add(1)
-		go func(i int, l Layer) {
-			defer wg.Done()
-			results[i], errs[i] = SearchVWSDK(l, a)
-		}(i, l)
+	if parallel {
+		var wg sync.WaitGroup
+		for i, l := range layers {
+			wg.Add(1)
+			go func(i int, l Layer) {
+				defer wg.Done()
+				results[i], errs[i] = search(l, a)
+			}(i, l)
+		}
+		wg.Wait()
+	} else {
+		for i, l := range layers {
+			results[i], errs[i] = search(l, a)
+		}
 	}
-	wg.Wait()
 	var out NetworkResult
 	for i := range layers {
 		if errs[i] != nil {

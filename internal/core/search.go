@@ -43,7 +43,10 @@ func SearchVWSDK(l Layer, a Array) (Result, error) {
 			if w == l.KW && h == l.KH {
 				continue // the im2col seed covers the kernel-sized window
 			}
-			m, err := VW(l, a, Window{W: w, H: h})
+			// l is normalized and validated (Im2col above) and the loop
+			// bounds keep every candidate inside [kernel, padded IFM], so
+			// the sweep-tuned costing applies.
+			m, err := SweepVW(l, a, Window{W: w, H: h})
 			if err != nil {
 				if errors.Is(err, ErrInfeasible) {
 					continue
@@ -131,7 +134,10 @@ func SearchSMD(l Layer, a Array) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res.Evaluated = dup
+	// Exactly one SMD mapping is costed regardless of the duplication factor
+	// chosen; Evaluated consistently counts candidates costed, as in the
+	// other searches.
+	res.Evaluated = 1
 	if m.Cycles < res.Best.Cycles || dup > 1 {
 		res.Best = m
 	} else {
@@ -189,10 +195,16 @@ func SearchVariant(l Layer, a Array, v Variant) (Result, error) {
 			if pw.W > l.PaddedW() || pw.H > l.PaddedH() {
 				break
 			}
-			m, err := VW(l, a, pw)
+			m, err := SweepVW(l, a, pw)
 			if err != nil {
 				if errors.Is(err, ErrInfeasible) {
-					break
+					// Skip like SearchVWSDK does. Early exit would also be
+					// correct here — the window grows in both axes with d, so
+					// ICt = floor(Rows/area) and OCt = floor(Cols/Nw) are
+					// non-increasing and can never become feasible again —
+					// but continuing keeps the sweep behavior identical
+					// across searches (guarded by a regression test).
+					continue
 				}
 				return Result{}, err
 			}

@@ -414,3 +414,105 @@ func TestSearchInvalidInputs(t *testing.T) {
 		t.Error("SearchVWSDK accepted invalid array")
 	}
 }
+
+// TestSquareTiledInfeasibleSkip guards the SquareTiled sweep's infeasible
+// handling: like SearchVWSDK it must skip infeasible candidates rather than
+// abort the sweep, and it must agree with a brute-force sweep over every
+// square window (which would expose a missed later-feasible window if the
+// geometry ever admitted one). The first layer drives the sweep through an
+// infeasible region (9x9 windows overflow 64 rows at IC 4) with in-bounds
+// candidates still remaining.
+func TestSquareTiledInfeasibleSkip(t *testing.T) {
+	layers := []Layer{
+		{Name: "mid-infeasible", IW: 12, IH: 12, KW: 3, KH: 3, IC: 4, OC: 8},
+		{Name: "strided", IW: 23, IH: 23, KW: 3, KH: 3, IC: 8, OC: 8, StrideW: 2, StrideH: 2},
+		{Name: "col-bound", IW: 16, IH: 16, KW: 3, KH: 3, IC: 1, OC: 60},
+	}
+	a := Array{Rows: 64, Cols: 64}
+	for _, l := range layers {
+		res, err := SearchVariant(l, a, VariantSquareTiled)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		n := l.Normalized()
+		best, err := Im2col(n, a)
+		if err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		evaluated := 0
+		for d := 1; ; d++ {
+			pw := Window{W: n.KW + d*n.StrideW, H: n.KH + d*n.StrideH}
+			if pw.W > n.PaddedW() || pw.H > n.PaddedH() {
+				break
+			}
+			m, err := VW(n, a, pw)
+			if err != nil {
+				continue // brute force never early-exits
+			}
+			evaluated++
+			if m.Cycles < best.Cycles {
+				best = m
+			}
+		}
+		if res.Best.Cycles != best.Cycles || res.Best.PW != best.PW {
+			t.Errorf("%s: search found %v (%d cycles), brute force %v (%d cycles)",
+				l.Name, res.Best.PW, res.Best.Cycles, best.PW, best.Cycles)
+		}
+		if res.Evaluated != evaluated {
+			t.Errorf("%s: Evaluated = %d, brute force costed %d", l.Name, res.Evaluated, evaluated)
+		}
+	}
+}
+
+// TestEvaluatedCountsCandidatesCosted pins the meaning of Result.Evaluated
+// across all three searches: the number of candidate mappings actually
+// costed, not a scheme parameter like the SMD duplication factor.
+func TestEvaluatedCountsCandidatesCosted(t *testing.T) {
+	// SMD costs exactly one mapping whatever duplication it picks.
+	small := Layer{IW: 10, IH: 10, KW: 3, KH: 3, IC: 4, OC: 8}
+	res, err := SearchSMD(small, Array{128, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Dup != 3 {
+		t.Fatalf("dup = %d, want 3", res.Best.Dup)
+	}
+	if res.Evaluated != 1 {
+		t.Errorf("SMD Evaluated = %d, want 1 (one mapping costed)", res.Evaluated)
+	}
+
+	// VW-SDK counts every feasible non-kernel window.
+	l := Layer{IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	vw, err := SearchVWSDK(l, array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for h := l.KH; h <= l.IH; h++ {
+		for w := l.KW; w <= l.IW; w++ {
+			if w == l.KW && h == l.KH {
+				continue
+			}
+			if _, err := VW(l, array512, Window{W: w, H: h}); err == nil {
+				count++
+			}
+		}
+	}
+	if vw.Evaluated != count {
+		t.Errorf("VW-SDK Evaluated = %d, want %d feasible windows", vw.Evaluated, count)
+	}
+
+	// SDK costs every square candidate inside the IFM bounds (its
+	// feasibility rule filters after costing).
+	sdk, err := SearchSDK(l, array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squares := 0
+	for d := 1; 3+d <= 14; d++ {
+		squares++
+	}
+	if sdk.Evaluated != squares {
+		t.Errorf("SDK Evaluated = %d, want %d costed candidates", sdk.Evaluated, squares)
+	}
+}

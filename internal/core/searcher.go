@@ -1,0 +1,37 @@
+package core
+
+// Searcher is the set of mapping searches shared by the serial reference
+// implementation (Serial) and the concurrent, memoizing engine
+// (internal/engine). Experiment generators and the CLIs accept a Searcher so
+// callers choose the execution strategy; both implementations return
+// bit-identical results.
+type Searcher interface {
+	SearchVWSDK(l Layer, a Array) (Result, error)
+	SearchSDK(l Layer, a Array) (Result, error)
+	SearchSMD(l Layer, a Array) (Result, error)
+	SearchVariant(l Layer, a Array, v Variant) (Result, error)
+	SearchNetwork(layers []Layer, a Array) (NetworkResult, error)
+}
+
+// Serial is the Searcher backed directly by this package's single-threaded
+// algorithms; it holds no state and the zero value is ready to use.
+type Serial struct{}
+
+// SearchVWSDK runs Algorithm 1 serially.
+func (Serial) SearchVWSDK(l Layer, a Array) (Result, error) { return SearchVWSDK(l, a) }
+
+// SearchSDK runs the SDK baseline search serially.
+func (Serial) SearchSDK(l Layer, a Array) (Result, error) { return SearchSDK(l, a) }
+
+// SearchSMD runs the SMD baseline search serially.
+func (Serial) SearchSMD(l Layer, a Array) (Result, error) { return SearchSMD(l, a) }
+
+// SearchVariant runs an ablated search serially.
+func (Serial) SearchVariant(l Layer, a Array, v Variant) (Result, error) {
+	return SearchVariant(l, a, v)
+}
+
+// SearchNetwork optimizes every layer and sums the totals.
+func (Serial) SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
+	return SearchNetwork(layers, a)
+}

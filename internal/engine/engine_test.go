@@ -1,0 +1,309 @@
+package engine
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// testArrays spans the paper's evaluation sizes plus small arrays that force
+// infeasible candidates into the sweeps.
+var testArrays = []core.Array{
+	{Rows: 64, Cols: 64},
+	{Rows: 128, Cols: 128},
+	{Rows: 128, Cols: 256},
+	{Rows: 256, Cols: 256},
+	{Rows: 512, Cols: 256},
+	{Rows: 512, Cols: 512},
+	{Rows: 1024, Cols: 1024},
+}
+
+// TestEngineMatchesSerialEverywhere is the differential test the engine's
+// correctness rests on: on every layer of every predefined network, for
+// every array size and every search family, the engine's result must be
+// bit-identical (reflect.DeepEqual on the full Result struct) to the serial
+// core algorithms'.
+func TestEngineMatchesSerialEverywhere(t *testing.T) {
+	e := New()
+	type search struct {
+		name   string
+		serial func(core.Layer, core.Array) (core.Result, error)
+		engine func(core.Layer, core.Array) (core.Result, error)
+	}
+	searches := []search{
+		{"vwsdk", core.SearchVWSDK, e.SearchVWSDK},
+		{"sdk", core.SearchSDK, e.SearchSDK},
+		{"smd", core.SearchSMD, e.SearchSMD},
+	}
+	for _, v := range []core.Variant{core.VariantFull, core.VariantSquareTiled, core.VariantRectFullChannel} {
+		v := v
+		searches = append(searches, search{
+			name: "variant/" + v.String(),
+			serial: func(l core.Layer, a core.Array) (core.Result, error) {
+				return core.SearchVariant(l, a, v)
+			},
+			engine: func(l core.Layer, a core.Array) (core.Result, error) {
+				return e.SearchVariant(l, a, v)
+			},
+		})
+	}
+	for _, n := range model.All() {
+		for _, a := range testArrays {
+			for _, l := range n.CoreLayers() {
+				for _, s := range searches {
+					want, wantErr := s.serial(l, a)
+					got, gotErr := s.engine(l, a)
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("%s/%s/%v/%s: serial err=%v, engine err=%v",
+							n.Name, l.Name, a, s.name, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						continue
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Errorf("%s/%s/%v/%s:\nserial %+v\nengine %+v",
+							n.Name, l.Name, a, s.name, want, got)
+					}
+				}
+			}
+		}
+	}
+	st := e.Stats()
+	if st.CacheHits == 0 {
+		t.Error("repeated shapes across networks produced no cache hits")
+	}
+}
+
+// TestEngineCachedHitIsIdentical asserts a second lookup — served from the
+// cache, possibly under a different layer name — still equals the serial
+// result exactly.
+func TestEngineCachedHitIsIdentical(t *testing.T) {
+	e := New()
+	l := core.Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	a := core.Array{Rows: 512, Cols: 512}
+	if _, err := e.SearchVWSDK(l, a); err != nil {
+		t.Fatal(err)
+	}
+	renamedLayer := l
+	renamedLayer.Name = "resnet-conv4"
+	want, err := core.SearchVWSDK(renamedLayer, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.SearchVWSDK(renamedLayer, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("cached result differs:\nserial %+v\nengine %+v", want, got)
+	}
+	if st := e.Stats(); st.CacheHits == 0 {
+		t.Errorf("stats = %+v, want a cache hit for the renamed shape", st)
+	}
+}
+
+// TestEngineVariantFullSharesVWSDKCache pins that SearchVariant(VariantFull)
+// and SearchVWSDK hit one cache entry, like their serial definitions.
+func TestEngineVariantFullSharesVWSDKCache(t *testing.T) {
+	e := New()
+	l := core.Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64}
+	a := core.Array{Rows: 256, Cols: 256}
+	if _, err := e.SearchVWSDK(l, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SearchVariant(l, a, core.VariantFull); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 1 miss then 1 hit", st)
+	}
+}
+
+// TestEngineSearchNetwork compares the engine's network aggregation with the
+// serial one on every predefined network.
+func TestEngineSearchNetwork(t *testing.T) {
+	e := New()
+	a := core.Array{Rows: 512, Cols: 512}
+	for _, n := range model.All() {
+		want, err := core.SearchNetwork(n.CoreLayers(), a)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		got, err := e.SearchNetwork(n.CoreLayers(), a)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s: network result differs\nserial %+v\nengine %+v", n.Name, want, got)
+		}
+	}
+	if _, err := e.SearchNetwork(nil, a); err == nil {
+		t.Error("SearchNetwork accepted an empty layer list")
+	}
+}
+
+// TestEngineErrorsMatchSerial checks the failure paths stay serial-shaped:
+// invalid layers and arrays error without panicking or caching.
+func TestEngineErrorsMatchSerial(t *testing.T) {
+	e := New()
+	bad := core.Layer{IW: 0, IH: 8, KW: 3, KH: 3, IC: 1, OC: 1}
+	a := core.Array{Rows: 512, Cols: 512}
+	if _, err := e.SearchVWSDK(bad, a); err == nil {
+		t.Error("engine accepted invalid layer")
+	}
+	ok := core.Layer{IW: 8, IH: 8, KW: 3, KH: 3, IC: 1, OC: 1}
+	if _, err := e.SearchVWSDK(ok, core.Array{}); err == nil {
+		t.Error("engine accepted invalid array")
+	}
+	if st := e.Stats(); st.CachedResults != 0 {
+		t.Errorf("errored searches were cached: %+v", st)
+	}
+	if st := e.Stats(); st.Searches != st.CacheHits+st.CacheMisses {
+		t.Errorf("stats don't balance: %+v", st)
+	}
+}
+
+// TestEngineConcurrentIdenticalSearches hammers one shape from many
+// goroutines; duplicate suppression must collapse them onto one computation
+// and every caller must still see the serial result (run under -race).
+func TestEngineConcurrentIdenticalSearches(t *testing.T) {
+	e := New(WithWorkers(4))
+	l := core.Layer{Name: "conv5", IW: 56, IH: 56, KW: 3, KH: 3, IC: 128, OC: 256}
+	a := core.Array{Rows: 512, Cols: 512}
+	want, err := core.SearchVWSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 32
+	var wg sync.WaitGroup
+	results := make([]core.Result, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.SearchVWSDK(l, a)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(want, results[i]) {
+			t.Fatalf("caller %d: result differs from serial", i)
+		}
+	}
+	if st := e.Stats(); st.CacheMisses != 1 {
+		t.Errorf("stats = %+v, want exactly 1 computation for %d identical searches",
+			st, callers)
+	}
+}
+
+// TestEngineOptions exercises the worker and cache-size knobs, including the
+// degenerate single-worker and cache-disabled configurations.
+func TestEngineOptions(t *testing.T) {
+	l := core.Layer{Name: "c", IW: 28, IH: 28, KW: 3, KH: 3, IC: 64, OC: 64}
+	a := core.Array{Rows: 256, Cols: 256}
+	want, err := core.SearchVWSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*Engine{
+		New(WithWorkers(1)),
+		New(WithWorkers(1), WithCacheSize(0)),
+		New(WithWorkers(64), WithCacheSize(1)),
+	} {
+		got, err := e.SearchVWSDK(l, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers=%d: result differs from serial", e.Workers())
+		}
+	}
+	nocache := New(WithCacheSize(0))
+	for i := 0; i < 2; i++ {
+		if _, err := nocache.SearchVWSDK(l, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := nocache.Stats(); st.CacheHits != 0 || st.CachedResults != 0 {
+		t.Errorf("cache disabled but stats = %+v", st)
+	}
+	if w := New(WithWorkers(-3)).Workers(); w < 1 {
+		t.Errorf("default workers = %d, want >= 1", w)
+	}
+}
+
+// TestCacheLRUEviction pins the LRU policy: capacity-1 cache keeps only the
+// most recent result.
+func TestCacheLRUEviction(t *testing.T) {
+	e := New(WithCacheSize(1))
+	a := core.Array{Rows: 256, Cols: 256}
+	l1 := core.Layer{Name: "a", IW: 14, IH: 14, KW: 3, KH: 3, IC: 16, OC: 16}
+	l2 := core.Layer{Name: "b", IW: 16, IH: 16, KW: 3, KH: 3, IC: 16, OC: 16}
+	for _, l := range []core.Layer{l1, l2, l1} {
+		if _, err := e.SearchVWSDK(l, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CacheMisses != 3 || st.CacheHits != 0 {
+		t.Errorf("stats = %+v, want 3 misses (l1 evicted by l2)", st)
+	}
+	if st.CachedResults != 1 {
+		t.Errorf("cached results = %d, want 1", st.CachedResults)
+	}
+}
+
+// TestSweep compares every cell of a batch sweep against serial
+// per-layer searches.
+func TestSweep(t *testing.T) {
+	e := New()
+	networks := []model.Network{model.VGG13(), model.ResNet18()}
+	arrays := []core.Array{{Rows: 256, Cols: 256}, {Rows: 512, Cols: 512}}
+	variants := []core.Variant{core.VariantFull, core.VariantSquareTiled}
+	cells := e.Sweep(networks, arrays, variants)
+	if len(cells) != len(networks)*len(arrays)*len(variants) {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	i := 0
+	for _, n := range networks {
+		for _, a := range arrays {
+			for _, v := range variants {
+				c := cells[i]
+				i++
+				if c.Cell.Network.Name != n.Name || c.Cell.Array != a || c.Cell.Variant != v {
+					t.Fatalf("cell %d out of order: %+v", i-1, c.Cell)
+				}
+				if c.Err != nil {
+					t.Fatalf("%s/%v/%v: %v", n.Name, a, v, c.Err)
+				}
+				var wantTotal int64
+				for _, l := range n.CoreLayers() {
+					r, err := core.SearchVariant(l, a, v)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantTotal += r.Best.Cycles
+				}
+				if c.Result.TotalCycles != wantTotal {
+					t.Errorf("%s/%v/%v: total = %d, want %d",
+						n.Name, a, v, c.Result.TotalCycles, wantTotal)
+				}
+				if c.Speedup() <= 0 {
+					t.Errorf("%s/%v/%v: speedup = %v", n.Name, a, v, c.Speedup())
+				}
+			}
+		}
+	}
+	// Empty variants default to the full search.
+	def := e.Sweep(networks[:1], arrays[:1], nil)
+	if len(def) != 1 || def[0].Cell.Variant != core.VariantFull {
+		t.Fatalf("default sweep = %+v", def)
+	}
+}

@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Cell identifies one (network, array, variant) combination of a batch
+// sweep.
+type Cell struct {
+	Network model.Network
+	Array   core.Array
+	Variant core.Variant
+}
+
+// CellResult is the outcome of one sweep cell. Err is per-cell so a sweep
+// that mixes feasible and infeasible combinations still reports every
+// feasible one.
+type CellResult struct {
+	Cell   Cell
+	Result core.NetworkResult
+	Err    error
+}
+
+// Speedup returns the cell's whole-network speedup over im2col (0 on error).
+func (c CellResult) Speedup() float64 {
+	if c.Err != nil {
+		return 0
+	}
+	return c.Result.Speedup()
+}
+
+// Sweep optimizes every network on every array under every variant, fanning
+// all cells (and their per-layer searches) across the worker pool. An empty
+// variants slice means the full VW-SDK search only. Results are returned in
+// deterministic input order — networks outermost, variants innermost — and
+// repeated layer shapes across cells are served from the engine's cache, so
+// e.g. ResNet-18's four conv2..conv5 repeats and shapes shared between VGG
+// variants are costed once per array.
+func (e *Engine) Sweep(networks []model.Network, arrays []core.Array, variants []core.Variant) []CellResult {
+	if len(variants) == 0 {
+		variants = []core.Variant{core.VariantFull}
+	}
+	out := make([]CellResult, 0, len(networks)*len(arrays)*len(variants))
+	for _, n := range networks {
+		for _, a := range arrays {
+			for _, v := range variants {
+				out = append(out, CellResult{Cell: Cell{Network: n, Array: a, Variant: v}})
+			}
+		}
+	}
+	if e.workers == 1 {
+		// A single-worker pool serializes every cell anyway; running them
+		// inline avoids parking a goroutine per cell on the one slot, which
+		// costs measurable scheduler churn on a single core.
+		for i := range out {
+			c := &out[i]
+			c.Result, c.Err = e.SearchNetworkVariant(
+				c.Cell.Network.CoreLayers(), c.Cell.Array, c.Cell.Variant)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(c *CellResult) {
+			defer wg.Done()
+			c.Result, c.Err = e.SearchNetworkVariant(
+				c.Cell.Network.CoreLayers(), c.Cell.Array, c.Cell.Variant)
+		}(&out[i])
+	}
+	wg.Wait()
+	return out
+}

@@ -7,14 +7,27 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/textplot"
 )
 
 // Array512 is the paper's default evaluation array.
 var Array512 = core.Array{Rows: 512, Cols: 512}
+
+// defaultSearcher is the engine shared by every generator that is not
+// handed an explicit Searcher: experiments repeat (layer, array) pairs
+// heavily (Table I, Fig. 8 and Fig. 9 all sweep the same networks), so one
+// cache serves them all. Engine results are bit-identical to the serial
+// searches, which the package's golden tests pin against the paper.
+var defaultSearcher = sync.OnceValue(func() core.Searcher { return engine.New() })
+
+// DefaultSearcher returns the shared concurrent engine the parameterless
+// generators run on.
+func DefaultSearcher() core.Searcher { return defaultSearcher() }
 
 // PaperArrays are the array sizes of the paper's Fig. 8(b), in its order.
 var PaperArrays = []core.Array{
@@ -80,26 +93,26 @@ type trio struct {
 	im, sdk, vw core.Mapping
 }
 
-func mapLayer(l core.Layer, a core.Array) (trio, error) {
+func mapLayer(s core.Searcher, l core.Layer, a core.Array) (trio, error) {
 	im, err := core.Im2col(l, a)
 	if err != nil {
 		return trio{}, err
 	}
-	sdk, err := core.SearchSDK(l, a)
+	sdk, err := s.SearchSDK(l, a)
 	if err != nil {
 		return trio{}, err
 	}
-	vw, err := core.SearchVWSDK(l, a)
+	vw, err := s.SearchVWSDK(l, a)
 	if err != nil {
 		return trio{}, err
 	}
 	return trio{im: im, sdk: sdk.Best, vw: vw.Best}, nil
 }
 
-func mapNetwork(n model.Network, a core.Array) ([]trio, error) {
+func mapNetwork(s core.Searcher, n model.Network, a core.Array) ([]trio, error) {
 	out := make([]trio, 0, len(n.Layers))
 	for _, l := range n.CoreLayers() {
-		tr, err := mapLayer(l, a)
+		tr, err := mapLayer(s, l, a)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s: %w", n.Name, l.Name, err)
 		}
@@ -119,8 +132,12 @@ func totals(ts []trio) (im, sdk, vw int64) {
 
 // TableI reproduces the paper's Table I: per-layer window/tile choices of
 // the SDK baseline and VW-SDK, and total cycles per network, on array a
-// (the paper uses 512×512).
-func TableI(a core.Array) (*Result, error) {
+// (the paper uses 512×512). It runs on the shared engine; TableIWith picks
+// the searcher.
+func TableI(a core.Array) (*Result, error) { return TableIWith(DefaultSearcher(), a) }
+
+// TableIWith is TableI on an explicit searcher.
+func TableIWith(s core.Searcher, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "table1",
 		Paper: "Table I: information of CNNs and results",
@@ -136,7 +153,7 @@ func TableI(a core.Array) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
-		ts, err := mapNetwork(n, a)
+		ts, err := mapNetwork(s, n, a)
 		if err != nil {
 			return nil, err
 		}

@@ -12,8 +12,12 @@ import (
 
 // Ablation (extension E11) attributes VW-SDK's gain between its two ideas —
 // rectangular windows and channel tiling — by running the restricted
-// variants of the search, with the SMD baseline for context.
-func Ablation(a core.Array) (*Result, error) {
+// variants of the search, with the SMD baseline for context. It runs on the
+// shared engine; AblationWith picks the searcher.
+func Ablation(a core.Array) (*Result, error) { return AblationWith(DefaultSearcher(), a) }
+
+// AblationWith is Ablation on an explicit searcher.
+func AblationWith(s core.Searcher, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "ablation",
 		Paper: "Extension: ablation of VW-SDK's two ideas (DESIGN.md §5)",
@@ -36,27 +40,27 @@ func Ablation(a core.Array) (*Result, error) {
 				return nil, err
 			}
 			im += m.Cycles
-			rs, err := core.SearchSMD(l, a)
+			rs, err := s.SearchSMD(l, a)
 			if err != nil {
 				return nil, err
 			}
 			smd += rs.Best.Cycles
-			rk, err := core.SearchSDK(l, a)
+			rk, err := s.SearchSDK(l, a)
 			if err != nil {
 				return nil, err
 			}
 			sdk += rk.Best.Cycles
-			rq, err := core.SearchVariant(l, a, core.VariantSquareTiled)
+			rq, err := s.SearchVariant(l, a, core.VariantSquareTiled)
 			if err != nil {
 				return nil, err
 			}
 			sq += rq.Best.Cycles
-			rr, err := core.SearchVariant(l, a, core.VariantRectFullChannel)
+			rr, err := s.SearchVariant(l, a, core.VariantRectFullChannel)
 			if err != nil {
 				return nil, err
 			}
 			rect += rr.Best.Cycles
-			rv, err := core.SearchVWSDK(l, a)
+			rv, err := s.SearchVWSDK(l, a)
 			if err != nil {
 				return nil, err
 			}
@@ -88,8 +92,12 @@ func Ablation(a core.Array) (*Result, error) {
 
 // Energy (extension E12) estimates per-inference latency and energy for
 // im2col, SDK and VW-SDK under the default (full-array peripherals) model
-// and reports the conversion-dominated split the paper cites.
-func Energy(a core.Array) (*Result, error) {
+// and reports the conversion-dominated split the paper cites. It runs on
+// the shared engine; EnergyWith picks the searcher.
+func Energy(a core.Array) (*Result, error) { return EnergyWith(DefaultSearcher(), a) }
+
+// EnergyWith is Energy on an explicit searcher.
+func EnergyWith(s core.Searcher, a core.Array) (*Result, error) {
 	mdl := energy.Default()
 	gated := mdl
 	gated.GatePeripherals = true
@@ -108,7 +116,7 @@ func Energy(a core.Array) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
-		ts, err := mapNetwork(n, a)
+		ts, err := mapNetwork(s, n, a)
 		if err != nil {
 			return nil, err
 		}
@@ -192,30 +200,69 @@ func VerifyFunctional(seed uint64) (*Result, error) {
 	return r, nil
 }
 
-// All regenerates every experiment with the paper's default parameters, in
-// DESIGN.md §4 order.
-func All() ([]*Result, error) {
-	type gen struct {
-		name string
-		f    func() (*Result, error)
-	}
-	gens := []gen{
-		{"table1", func() (*Result, error) { return TableI(Array512) }},
+// generators lists every experiment with the paper's default parameters, in
+// DESIGN.md §4 order. Generators that search do so through the given
+// searcher; the purely arithmetic ones (Fig. 4, 5, 7) and the simulator-
+// and precision-bound ones ignore it.
+func generators(s core.Searcher) []generator {
+	return []generator{
+		{"table1", func() (*Result, error) { return TableIWith(s, Array512) }},
 		{"fig4", Fig4},
 		{"fig5a", Fig5a},
 		{"fig5b", Fig5b},
 		{"fig7a", Fig7a},
 		{"fig7b", Fig7b},
-		{"fig8a", func() (*Result, error) { return Fig8a(Array512) }},
-		{"fig8b", Fig8b},
-		{"fig9a", func() (*Result, error) { return Fig9a(Array512) }},
-		{"fig9b", Fig9b},
-		{"ablation", func() (*Result, error) { return Ablation(Array512) }},
-		{"energy", func() (*Result, error) { return Energy(Array512) }},
+		{"fig8a", func() (*Result, error) { return Fig8aWith(s, Array512) }},
+		{"fig8b", func() (*Result, error) { return Fig8bWith(s) }},
+		{"fig9a", func() (*Result, error) { return Fig9aWith(s, Array512) }},
+		{"fig9b", func() (*Result, error) { return Fig9bWith(s) }},
+		{"ablation", func() (*Result, error) { return AblationWith(s, Array512) }},
+		{"energy", func() (*Result, error) { return EnergyWith(s, Array512) }},
 		{"verify", func() (*Result, error) { return VerifyFunctional(0xbeef) }},
 		{"bitslice", func() (*Result, error) { return Bitslice(Array512) }},
-		{"chip", func() (*Result, error) { return Chip(Array512) }},
-		{"reuse", func() (*Result, error) { return Reuse(Array512) }},
+		{"chip", func() (*Result, error) { return ChipWith(s, Array512) }},
+		{"reuse", func() (*Result, error) { return ReuseWith(s, Array512) }},
+	}
+}
+
+// generator is one named experiment entry.
+type generator struct {
+	name string
+	f    func() (*Result, error)
+}
+
+// IDs returns every experiment identifier, in run order.
+func IDs() []string {
+	gens := generators(core.Serial{})
+	ids := make([]string, len(gens))
+	for i, g := range gens {
+		ids[i] = g.name
+	}
+	return ids
+}
+
+// All regenerates every experiment on the shared engine.
+func All() ([]*Result, error) { return Run(DefaultSearcher()) }
+
+// Run regenerates the experiments with the given ids (all of them when none
+// are listed) through searcher s, in DESIGN.md §4 order. Unknown ids error
+// before anything runs.
+func Run(s core.Searcher, ids ...string) ([]*Result, error) {
+	gens := generators(s)
+	if len(ids) > 0 {
+		byName := make(map[string]generator, len(gens))
+		for _, g := range gens {
+			byName[g.name] = g
+		}
+		picked := make([]generator, 0, len(ids))
+		for _, id := range ids {
+			g, ok := byName[id]
+			if !ok {
+				return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+			}
+			picked = append(picked, g)
+		}
+		gens = picked
 	}
 	out := make([]*Result, 0, len(gens))
 	for _, g := range gens {

@@ -68,8 +68,12 @@ func Bitslice(a core.Array) (*Result, error) {
 }
 
 // Chip (extension E15) scales each network across multi-array chips,
-// comparing VW-SDK and im2col makespans.
-func Chip(a core.Array) (*Result, error) {
+// comparing VW-SDK and im2col makespans. It runs on the shared engine;
+// ChipWith picks the searcher.
+func Chip(a core.Array) (*Result, error) { return ChipWith(DefaultSearcher(), a) }
+
+// ChipWith is Chip on an explicit searcher.
+func ChipWith(s core.Searcher, a core.Array) (*Result, error) {
 	counts := []int{1, 2, 4, 8, 16, 32, 64}
 	r := &Result{
 		ID:    "chip",
@@ -85,7 +89,7 @@ func Chip(a core.Array) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
-		ts, err := mapNetwork(n, a)
+		ts, err := mapNetwork(s, n, a)
 		if err != nil {
 			return nil, err
 		}
@@ -124,8 +128,12 @@ func Chip(a core.Array) (*Result, error) {
 
 // Reuse (extension E17) quantifies the input-reuse motivation of the
 // paper's Fig. 1: average DAC loads per distinct IFM element for each
-// mapping scheme on ResNet-18.
-func Reuse(a core.Array) (*Result, error) {
+// mapping scheme on ResNet-18. It runs on the shared engine; ReuseWith
+// picks the searcher.
+func Reuse(a core.Array) (*Result, error) { return ReuseWith(DefaultSearcher(), a) }
+
+// ReuseWith is Reuse on an explicit searcher.
+func ReuseWith(s core.Searcher, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "reuse",
 		Paper: "Extension: input-feature-map reuse (Fig. 1 motivation, quantified)",
@@ -140,7 +148,7 @@ func Reuse(a core.Array) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	for _, cl := range model.ResNet18().CoreLayers() {
-		t, err := mapLayer(cl, a)
+		t, err := mapLayer(s, cl, a)
 		if err != nil {
 			return nil, err
 		}

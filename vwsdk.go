@@ -30,6 +30,7 @@ package vwsdk
 import (
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/mapping"
 	"repro/internal/model"
@@ -232,6 +233,53 @@ type NetworkResult = core.NetworkResult
 // SearchNetwork optimizes every layer concurrently and sums the totals.
 func SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
 	return core.SearchNetwork(layers, a)
+}
+
+// Searcher abstracts the mapping searches; both the serial reference
+// implementation (SerialSearcher) and the concurrent Engine satisfy it.
+type Searcher = core.Searcher
+
+// SerialSearcher returns the Searcher backed by the single-threaded
+// reference algorithms.
+func SerialSearcher() Searcher { return core.Serial{} }
+
+// Engine is a concurrent, memoizing search engine: candidate windows and
+// per-layer searches fan across a worker pool, and repeated (layer shape,
+// array, search) combinations are served from an LRU cache. Results are
+// bit-identical to the serial searches. See engine.Engine.
+type Engine = engine.Engine
+
+// EngineOption configures an Engine.
+type EngineOption = engine.Option
+
+// EngineStats are an Engine's cumulative counters.
+type EngineStats = engine.Stats
+
+// SweepCell identifies one (network, array, variant) combination of a batch
+// sweep.
+type SweepCell = engine.Cell
+
+// SweepCellResult is the outcome of one batch-sweep cell.
+type SweepCellResult = engine.CellResult
+
+// NewEngine returns a concurrent search engine. With no options it uses
+// GOMAXPROCS workers and a 4096-entry result cache.
+func NewEngine(opts ...EngineOption) *Engine { return engine.New(opts...) }
+
+// WithWorkers bounds the engine's worker pool; n < 1 restores the default.
+func WithWorkers(n int) EngineOption { return engine.WithWorkers(n) }
+
+// WithCacheSize sets the engine's LRU capacity in results; 0 disables
+// caching.
+func WithCacheSize(n int) EngineOption { return engine.WithCacheSize(n) }
+
+// SearchNetworkParallel optimizes every layer through a fresh engine —
+// candidate windows fan across the worker pool and repeated layer shapes
+// are costed once. Results are bit-identical to SearchNetwork. Callers
+// optimizing several networks or arrays should build one Engine (or use
+// Engine.Sweep) to share its cache across calls.
+func SearchNetworkParallel(layers []Layer, a Array, opts ...EngineOption) (NetworkResult, error) {
+	return engine.New(opts...).SearchNetwork(layers, a)
 }
 
 // ExplainSearch renders a step-by-step, equation-referenced derivation of a

@@ -283,3 +283,51 @@ func TestFacadeSearchNetwork(t *testing.T) {
 		t.Errorf("speedup = %v, want 4.67", s)
 	}
 }
+
+// TestFacadeEngine exercises the concurrent-engine exports: parallel
+// network search equals the serial one, the batch Sweep covers its grid,
+// and the stats/worker knobs round-trip.
+func TestFacadeEngine(t *testing.T) {
+	a := Array{Rows: 512, Cols: 512}
+	layers := ResNet18().CoreLayers()
+	want, err := SearchNetwork(layers, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchNetworkParallel(layers, a, WithWorkers(2), WithCacheSize(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalCycles != want.TotalCycles || got.TotalIm2col != want.TotalIm2col {
+		t.Errorf("parallel totals = %d/%d, serial %d/%d",
+			got.TotalCycles, got.TotalIm2col, want.TotalCycles, want.TotalIm2col)
+	}
+
+	eng := NewEngine(WithWorkers(2))
+	res, err := eng.SearchVWSDK(layers[3], a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.TileString() != "4x3x42x256" {
+		t.Errorf("conv4 tile = %s, want 4x3x42x256", res.Best.TileString())
+	}
+	cells := eng.Sweep([]Network{ResNet18()}, []Array{{Rows: 256, Cols: 256}, a},
+		[]Variant{VariantFull})
+	if len(cells) != 2 {
+		t.Fatalf("sweep returned %d cells, want 2", len(cells))
+	}
+	for _, c := range cells {
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		if c.Speedup() < 1 {
+			t.Errorf("%v: speedup %.2f < 1", c.Cell.Array, c.Speedup())
+		}
+	}
+	if st := eng.Stats(); st.Searches == 0 || st.CacheHits == 0 {
+		t.Errorf("engine stats = %+v, want searches and cache hits", st)
+	}
+	if SerialSearcher() == nil {
+		t.Error("SerialSearcher returned nil")
+	}
+}
