@@ -319,6 +319,30 @@ func BenchmarkNetworkSweepEngineWarm(b *testing.B) {
 	}
 }
 
+// BenchmarkCompile measures the whole-network compile pipeline (search →
+// chip schedule → energy) on both paper networks: "cold" with a fresh
+// compiler per iteration, "warm" reusing one compiler's search cache.
+func BenchmarkCompile(b *testing.B) {
+	for _, n := range []Network{VGG13(), ResNet18()} {
+		b.Run(n.Name+"-cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compile(n, PaperArray, CompileOptions{Arrays: 16}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(n.Name+"-warm", func(b *testing.B) {
+			comp := NewCompiler(nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := comp.Compile(n, PaperArray, CompileOptions{Arrays: 16}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSearchVWSDKEngine measures the engine's pooled Algorithm 1 on
 // the largest single-layer sweep (VGG conv1's 224x224 IFM, ~49k candidate
 // windows), cache disabled so every iteration costs the full sweep.

@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/compile"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 )
@@ -49,7 +50,10 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	results, err := experiments.Run(engine.New(engine.WithWorkers(*workers)), ids...)
+	// All generators share one compile pipeline on one engine, so repeated
+	// (layer, array) searches across experiments are costed once.
+	comp := compile.New(engine.New(engine.WithWorkers(*workers)))
+	results, err := experiments.Run(comp, ids...)
 	if err != nil {
 		return err
 	}

@@ -17,9 +17,9 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/compile"
 	"repro/internal/conv"
 	"repro/internal/core"
-	"repro/internal/energy"
 	"repro/internal/mapping"
 	"repro/internal/pimarray"
 	"repro/internal/tensor"
@@ -32,30 +32,20 @@ func main() {
 	}
 }
 
-func pickMapping(scheme string, l core.Layer, a core.Array) (core.Mapping, error) {
+// compileScheme maps the -scheme flag onto the compile pipeline's search
+// selector.
+func compileScheme(scheme string) (compile.Scheme, error) {
 	switch scheme {
 	case "im2col":
-		return core.Im2col(l, a)
+		return compile.Im2col, nil
 	case "smd":
-		r, err := core.SearchSMD(l, a)
-		if err != nil {
-			return core.Mapping{}, err
-		}
-		return r.Best, nil
+		return compile.SMD, nil
 	case "sdk":
-		r, err := core.SearchSDK(l, a)
-		if err != nil {
-			return core.Mapping{}, err
-		}
-		return r.Best, nil
+		return compile.SDK, nil
 	case "vw":
-		r, err := core.SearchVWSDK(l, a)
-		if err != nil {
-			return core.Mapping{}, err
-		}
-		return r.Best, nil
+		return compile.VWSDK, nil
 	default:
-		return core.Mapping{}, fmt.Errorf("unknown scheme %q (im2col, smd, sdk, vw)", scheme)
+		return 0, fmt.Errorf("unknown scheme %q (im2col, smd, sdk, vw)", scheme)
 	}
 }
 
@@ -86,10 +76,17 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	m, err := pickMapping(*scheme, l, a)
+	sc, err := compileScheme(*scheme)
 	if err != nil {
 		return err
 	}
+	// Compile the layer: one call yields the chosen mapping, its energy
+	// report and the physical plan the simulator executes.
+	lp, err := compile.New(core.Serial{}).CompileLayer(l, a, compile.Options{Scheme: sc})
+	if err != nil {
+		return err
+	}
+	m := lp.Search.Best
 
 	var opts []pimarray.Option
 	if *quant > 0 {
@@ -121,10 +118,7 @@ func run(args []string, out io.Writer) error {
 		m.Utilization(), float64(stats.UsedCellCycles)*100/
 			(float64(stats.Cycles)*float64(a.Rows)*float64(a.Cols)))
 
-	rep, err := energy.Default().Estimate(m)
-	if err != nil {
-		return err
-	}
+	rep := lp.Energy
 	fmt.Fprintf(out, "latency  %v   energy %.3g uJ (%.1f%% conversions)\n",
 		rep.Latency, rep.EnergyTotal*1e6, 100*rep.ConversionFraction())
 

@@ -1,13 +1,18 @@
 // Command vwsdk is the mapping optimizer CLI: given a convolutional layer
-// (or a whole predefined network) and a PIM array size, it reports the
-// minimum-cycle mapping found by the paper's VW-SDK algorithm next to the
-// im2col, SMD and SDK baselines — the same interface as the paper's released
-// script.
+// (or a whole network) and a PIM array size, it compiles the network and
+// reports the minimum-cycle mapping found by the paper's VW-SDK algorithm
+// next to the im2col, SMD and SDK baselines — the same interface as the
+// paper's released script.
+//
+// -network accepts either a predefined model-zoo name or a path to a JSON
+// network spec file (see the repository README for the format), so arbitrary
+// user CNNs can be compiled.
 //
 // Examples:
 //
 //	vwsdk -ifm 14x14 -kernel 3x3 -ic 256 -oc 256 -array 512x512
 //	vwsdk -network ResNet-18 -array 512x512
+//	vwsdk -network mynet.json -array 512x512 -arrays 16
 //	vwsdk -network VGG-13 -array 256x256 -csv
 package main
 
@@ -16,9 +21,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
-	"repro/internal/chip"
 	"repro/internal/cliutil"
+	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
@@ -32,15 +38,27 @@ func main() {
 	}
 }
 
+// resolveNetwork turns the -network flag into a Network: a path to a JSON
+// spec when the argument names an existing file or ends in .json (any
+// case), a model-zoo entry otherwise.
+func resolveNetwork(spec string) (model.Network, error) {
+	if st, err := os.Stat(spec); (err == nil && !st.IsDir()) ||
+		strings.HasSuffix(strings.ToLower(spec), ".json") {
+		return model.FromJSONFile(spec)
+	}
+	return model.ByName(spec)
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vwsdk", flag.ContinueOnError)
 	var (
-		network = fs.String("network", "", "predefined network (VGG-13, ResNet-18, VGG-16, AlexNet); overrides the layer flags")
+		network = fs.String("network", "", "predefined network (VGG-13, ResNet-18, VGG-16, AlexNet) or a JSON spec file; overrides the layer flags")
 		arraySp = fs.String("array", "512x512", "PIM array size RowsxCols")
 		nArrays = fs.Int("arrays", 1, "number of crossbars on the chip (multi-array makespan)")
 		explain = fs.Bool("explain", false, "print the equation-by-equation derivation (single layer only)")
 		workers = fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		stats   = fs.Bool("stats", false, "print engine statistics (cache hits/misses, in-flight dedupes)")
 		lf      cliutil.LayerFlags
 	)
 	fs.StringVar(&lf.IFM, "ifm", "14x14", "input feature map size WxH")
@@ -56,33 +74,35 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	// All searches run through one engine: per-layer candidate sweeps fan
-	// across the worker pool, and the multi-array section below reuses the
-	// cached per-layer results instead of re-searching.
+	// Everything below runs through one compile pipeline on one engine:
+	// per-layer candidate sweeps fan across the worker pool, and each of the
+	// four scheme compilations (plus the multi-array one) reuses the cached
+	// per-layer searches.
 	eng := engine.New(engine.WithWorkers(*workers))
+	comp := compile.New(eng)
 
-	var layers []core.Layer
-	title := ""
+	var net model.Network
 	if *network != "" {
-		n, err := model.ByName(*network)
-		if err != nil {
+		if net, err = resolveNetwork(*network); err != nil {
 			return err
 		}
-		layers = n.CoreLayers()
-		title = fmt.Sprintf("%s on a %s PIM array", n.Name, a)
 	} else {
 		l, err := lf.Layer("layer")
 		if err != nil {
 			return err
 		}
-		layers = []core.Layer{l}
-		title = fmt.Sprintf("%s on a %s PIM array", l, a)
+		net = model.Single(l)
 	}
+	title := fmt.Sprintf("%s on a %s PIM array", net.Name, a)
+	if len(net.Layers) == 1 {
+		title = fmt.Sprintf("%s on a %s PIM array", net.Layers[0].Layer, a)
+	}
+
 	if *explain {
-		if len(layers) != 1 {
+		if len(net.Layers) != 1 {
 			return fmt.Errorf("-explain works on a single layer, not a network")
 		}
-		res, err := eng.SearchVWSDK(layers[0], a)
+		res, err := eng.SearchVWSDK(net.Layers[0].Layer, a)
 		if err != nil {
 			return err
 		}
@@ -90,69 +110,64 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
+	// Compile the network under every scheme the paper compares.
+	smd, err := comp.Compile(net, a, compile.Options{Scheme: compile.SMD})
+	if err != nil {
+		return err
+	}
+	sdk, err := comp.Compile(net, a, compile.Options{Scheme: compile.SDK})
+	if err != nil {
+		return err
+	}
+	vw, err := comp.Compile(net, a, compile.Options{})
+	if err != nil {
+		return err
+	}
+
 	table := &textplot.Table{
 		Title: title,
 		Header: []string{"layer", "kernel", "im2col", "SMD", "SDK",
 			"VW-SDK window", "VW-SDK cycles", "speedup vs im2col", "util %"},
 	}
-	var tIm, tSMD, tSDK, tVW int64
-	for _, l := range layers {
-		im, err := core.Im2col(l, a)
-		if err != nil {
-			return err
-		}
-		smd, err := eng.SearchSMD(l, a)
-		if err != nil {
-			return err
-		}
-		sdk, err := eng.SearchSDK(l, a)
-		if err != nil {
-			return err
-		}
-		vw, err := eng.SearchVWSDK(l, a)
-		if err != nil {
-			return err
-		}
-		tIm += im.Cycles
-		tSMD += smd.Best.Cycles
-		tSDK += sdk.Best.Cycles
-		tVW += vw.Best.Cycles
+	for i := range net.Layers {
+		l := net.Layers[i].Layer
+		vwRes := vw.Layers[i].Search
 		table.AddRow(l.Name,
 			fmt.Sprintf("%dx%dx%dx%d", l.KW, l.KH, l.IC, l.OC),
-			im.Cycles, smd.Best.Cycles, sdk.Best.Cycles,
-			vw.Best.TileString(), vw.Best.Cycles,
-			fmt.Sprintf("%.2f", vw.SpeedupVsIm2col()),
-			fmt.Sprintf("%.1f", vw.Best.Utilization()))
+			vwRes.Im2col.Cycles, smd.Layers[i].Search.Best.Cycles,
+			sdk.Layers[i].Search.Best.Cycles,
+			vwRes.Best.TileString(), vwRes.Best.Cycles,
+			fmt.Sprintf("%.2f", vwRes.SpeedupVsIm2col()),
+			fmt.Sprintf("%.1f", vwRes.Best.Utilization()))
 	}
-	if len(layers) > 1 {
-		table.AddRow("total", "", tIm, tSMD, tSDK, "", tVW,
-			fmt.Sprintf("%.2f", float64(tIm)/float64(tVW)), "")
+	if len(net.Layers) > 1 {
+		table.AddRow("total", "", vw.Totals.Im2colCycles, smd.Totals.Cycles,
+			sdk.Totals.Cycles, "", vw.Totals.Cycles,
+			fmt.Sprintf("%.2f", vw.Totals.Speedup), "")
+	}
+	printStats := func() {
+		if !*stats {
+			return
+		}
+		st := eng.Stats()
+		fmt.Fprintf(out, "\nengine: %d searches, %d cache hits (%d in-flight dedupes), %d misses, %d cached results\n",
+			st.Searches, st.CacheHits, st.FlightDedupes, st.CacheMisses, st.CachedResults)
 	}
 	if *csv {
 		fmt.Fprint(out, table.CSV())
+		printStats()
 		return nil
 	}
 	fmt.Fprint(out, table.String())
 	if *nArrays > 1 {
-		var vwMaps []core.Mapping
-		for _, l := range layers {
-			r, err := eng.SearchVWSDK(l, a)
-			if err != nil {
-				return err
-			}
-			vwMaps = append(vwMaps, r.Best)
-		}
-		one, err := chip.ScheduleNetwork(vwMaps, 1)
-		if err != nil {
-			return err
-		}
-		many, err := chip.ScheduleNetwork(vwMaps, *nArrays)
+		many, err := comp.Compile(net, a, compile.Options{Arrays: *nArrays})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "\nchip with %d arrays: VW-SDK makespan %d cycles (%.2fx over one array, %d tile programmings)\n",
-			*nArrays, many.Makespan,
-			float64(one.Makespan)/float64(many.Makespan), many.Programs)
+			*nArrays, many.Totals.Makespan,
+			float64(vw.Totals.Makespan)/float64(many.Totals.Makespan), many.Totals.Programs)
 	}
+	printStats()
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -68,12 +70,65 @@ func TestRunExplain(t *testing.T) {
 	}
 }
 
+// TestRunNetworkFromJSON compiles the documented example spec file through
+// the -network file.json path.
+func TestRunNetworkFromJSON(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-network", "../../examples/networks/tinynet.json",
+		"-array", "256x256"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"TinyNet", "conv1", "conv4", "total"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// A spec path without the .json suffix still resolves as a file.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "netspec")
+	data, err := os.ReadFile("../../examples/networks/tinynet.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-network", path, "-array", "256x256"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "TinyNet") {
+		t.Errorf("suffixless spec file not resolved:\n%s", out.String())
+	}
+}
+
+// TestRunStats checks -stats reports the engine counters — with and without
+// -csv, which returns early from the table path.
+func TestRunStats(t *testing.T) {
+	for _, extra := range [][]string{nil, {"-csv"}} {
+		var out strings.Builder
+		args := append([]string{"-network", "ResNet-18", "-array", "512x512", "-stats"}, extra...)
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "engine:") || !strings.Contains(got, "cache hits") ||
+			!strings.Contains(got, "in-flight dedupes") {
+			t.Errorf("args %v: missing stats line:\n%s", args, got)
+		}
+	}
+}
+
 // TestRunBadFlags covers flag-parsing failures.
 func TestRunBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-array", "0x512"},
 		{"-array", "one"},
 		{"-network", "LeNet-5"},
+		{"-network", "no-such-file.json"},
 		{"-ifm", "2x2", "-kernel", "3x3"},
 		{"-nonsense"},
 	} {

@@ -32,25 +32,23 @@ func main() {
 		{Rows: 2048, Cols: 2048},
 	}
 
-	// One engine serves the whole sweep: candidate windows are costed
-	// across its worker pool, and the ablation section below gets the full
-	// search's per-array results for free from its cache.
+	// One engine-backed compiler serves the whole sweep: candidate windows
+	// are costed across its worker pool, and every per-array compilation
+	// shares the engine's cache.
 	eng := vwsdk.NewEngine()
+	comp := vwsdk.NewCompiler(eng)
 
 	fmt.Printf("optimal VW-SDK mapping of %v across array sizes\n\n", layer)
 	fmt.Printf("%-10s %14s %14s %10s %10s %8s\n",
 		"array", "window (tile)", "im2col cycles", "VW cycles", "speedup", "util %")
 	for _, a := range arrays {
-		im, err := vwsdk.Im2col(layer, a)
+		lp, err := comp.CompileLayer(layer, a, vwsdk.CompileOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		vw, err := eng.SearchVWSDK(layer, a)
-		if err != nil {
-			log.Fatal(err)
-		}
+		vw := lp.Search
 		fmt.Printf("%-10v %14s %14d %10d %9.2fx %7.1f\n",
-			a, vw.Best.TileString(), im.Cycles, vw.Best.Cycles,
+			a, vw.Best.TileString(), vw.Im2col.Cycles, vw.Best.Cycles,
 			vw.SpeedupVsIm2col(), vw.Best.Utilization())
 	}
 
@@ -60,7 +58,7 @@ func main() {
 
 	// The same layer through the batch Sweep API: one network × the array
 	// list × every ablation variant, fanned across the pool in one call.
-	net := vwsdk.Network{Name: "conv5-only", Layers: []vwsdk.ConvLayer{{Layer: layer, Count: 1}}}
+	net := vwsdk.SingleLayerNetwork(layer)
 	variants := []vwsdk.Variant{
 		vwsdk.VariantFull, vwsdk.VariantSquareTiled, vwsdk.VariantRectFullChannel,
 	}
@@ -75,6 +73,6 @@ func main() {
 	}
 
 	st := eng.Stats()
-	fmt.Printf("\nengine: %d searches, %d cache hits, %d computed (workers %d)\n",
-		st.Searches, st.CacheHits, st.CacheMisses, eng.Workers())
+	fmt.Printf("\nengine: %d searches, %d cache hits (%d in-flight dedupes), %d computed (workers %d)\n",
+		st.Searches, st.CacheHits, st.FlightDedupes, st.CacheMisses, eng.Workers())
 }

@@ -26,21 +26,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Crossbar run: each conv is mapped with VW-SDK and executed on the
-	// simulated array; statistics accumulate across layers.
+	// Crossbar run: each conv is compiled with VW-SDK through one shared
+	// pipeline and executed on the simulated array; statistics accumulate
+	// across layers.
+	comp := vwsdk.NewCompiler(nil)
 	var total vwsdk.CrossbarStats
 	crossbarExec := func(l vwsdk.Layer, x *vwsdk.FeatureMap, w *vwsdk.Weights) (*vwsdk.FeatureMap, error) {
-		res, err := vwsdk.SearchVWSDK(l, array)
+		lp, err := comp.CompileLayer(l, array, vwsdk.CompileOptions{})
 		if err != nil {
 			return nil, err
 		}
-		out, stats, err := vwsdk.RunOnCrossbar(res.Best, x, w)
+		out, stats, err := vwsdk.RunOnCrossbar(lp.Search.Best, x, w)
 		if err != nil {
 			return nil, err
 		}
 		total.Add(stats)
 		fmt.Printf("  %-6s %-22v -> window %-12s %5d cycles, util %5.1f%%\n",
-			l.Name, l, res.Best.TileString(), stats.Cycles, res.Best.Utilization())
+			l.Name, l, lp.Search.Best.TileString(), stats.Cycles, lp.Search.Best.Utilization())
 		return out, nil
 	}
 	got, err := cnn.Infer(input, crossbarExec)

@@ -1,6 +1,6 @@
-// Quickstart: optimize one convolutional layer's weight mapping for a PIM
+// Quickstart: compile one convolutional layer's weight mapping for a PIM
 // crossbar with VW-SDK and compare it against the im2col, SMD and SDK
-// baselines.
+// baselines — each comparison is one Compile call.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -21,37 +21,42 @@ func main() {
 		KW: 3, KH: 3,
 		IC: 256, OC: 256,
 	}
+	net := vwsdk.SingleLayerNetwork(layer)
 	array := vwsdk.Array{Rows: 512, Cols: 512}
 
-	im2col, err := vwsdk.Im2col(layer, array)
-	if err != nil {
-		log.Fatal(err)
+	// One compiler serves all four scheme compilations from one cache.
+	comp := vwsdk.NewCompiler(nil)
+	schemes := []vwsdk.CompileScheme{
+		vwsdk.CompileIm2col, vwsdk.CompileSMD, vwsdk.CompileSDK, vwsdk.CompileVWSDK,
 	}
-	smd, err := vwsdk.SearchSMD(layer, array)
-	if err != nil {
-		log.Fatal(err)
+	plans := make([]*vwsdk.NetworkPlan, len(schemes))
+	for i, s := range schemes {
+		p, err := comp.Compile(net, array, vwsdk.CompileOptions{Scheme: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plans[i] = p
 	}
-	sdk, err := vwsdk.SearchSDK(layer, array)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vw, err := vwsdk.SearchVWSDK(layer, array)
-	if err != nil {
-		log.Fatal(err)
-	}
+	im2col := plans[0].Layers[0].Search.Best
 
 	fmt.Printf("layer %v on array %v\n\n", layer, array)
 	fmt.Printf("%-8s %10s %10s  %s\n", "scheme", "cycles", "speedup", "decision")
-	for _, m := range []vwsdk.Mapping{im2col, smd.Best, sdk.Best, vw.Best} {
+	for _, p := range plans {
+		m := p.Layers[0].Search.Best
 		fmt.Printf("%-8s %10d %9.2fx  window %s, tiles ICt=%d OCt=%d (AR=%d AC=%d)\n",
 			m.Scheme, m.Cycles, m.Speedup(im2col),
 			m.PW, m.ICt, m.OCt, m.AR, m.AC)
 	}
 
+	vw := plans[len(plans)-1]
+	best := vw.Layers[0].Search.Best
 	fmt.Printf("\nVW-SDK found %s: a rectangular 4x3 parallel window computing %d outputs\n",
-		vw.Best.TileString(), vw.Best.Nw())
+		best.TileString(), best.Nw())
 	fmt.Printf("per cycle with 42 of 256 channels per row tile — %.2fx faster than im2col\n",
-		vw.SpeedupVsIm2col())
+		vw.Totals.Speedup)
 	fmt.Printf("and %.1f%% average array utilization (im2col: %.1f%%).\n",
-		vw.Best.Utilization(), im2col.Utilization())
+		vw.Totals.Utilization, im2col.Utilization())
+	fmt.Printf("per-inference estimate: %v latency, %.3g uJ (%.1f%% conversions)\n",
+		vw.Totals.Energy.Latency, vw.Totals.Energy.EnergyTotal*1e6,
+		100*vw.Totals.Energy.ConversionFraction())
 }

@@ -1,6 +1,7 @@
 // ResNet-18 walkthrough with latency/energy: reproduce the ResNet-18 half
 // of Table I and estimate per-inference latency and energy under the
-// conversion-dominated model the paper cites (Section II-B).
+// conversion-dominated model the paper cites (Section II-B) — the compile
+// pipeline computes cycles, schedules and energy in one call per scheme.
 //
 // Run with: go run ./examples/resnet18
 package main
@@ -15,41 +16,29 @@ import (
 func main() {
 	net := vwsdk.ResNet18()
 	array := vwsdk.PaperArray
-	mdl := vwsdk.DefaultEnergyModel()
+
+	comp := vwsdk.NewCompiler(nil)
+	im, err := comp.Compile(net, array, vwsdk.CompileOptions{Scheme: vwsdk.CompileIm2col})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vw, err := comp.Compile(net, array, vwsdk.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("%s on a %v PIM array\n\n", net.Name, array)
-
-	var imMaps, vwMaps []vwsdk.Mapping
-	var tIm, tVW int64
-	for _, cl := range net.Layers {
+	for i, cl := range net.Layers {
 		l := cl.Layer
-		im, err := vwsdk.Im2col(l, array)
-		if err != nil {
-			log.Fatal(err)
-		}
-		vw, err := vwsdk.SearchVWSDK(l, array)
-		if err != nil {
-			log.Fatal(err)
-		}
-		imMaps = append(imMaps, im)
-		vwMaps = append(vwMaps, vw.Best)
-		tIm += im.Cycles
-		tVW += vw.Best.Cycles
+		res := vw.Layers[i].Search
 		fmt.Printf("%-7s %dx%dx%3dx%-3d  im2col %6d cycles   VW-SDK %-13s %5d cycles  %5.2fx\n",
-			l.Name, l.KW, l.KH, l.IC, l.OC, im.Cycles,
-			vw.Best.TileString(), vw.Best.Cycles, vw.SpeedupVsIm2col())
+			l.Name, l.KW, l.KH, l.IC, l.OC, res.Im2col.Cycles,
+			res.Best.TileString(), res.Best.Cycles, res.SpeedupVsIm2col())
 	}
 	fmt.Printf("\ntotals: im2col %d, VW-SDK %d cycles -> %.2fx (paper: 4.67x)\n",
-		tIm, tVW, float64(tIm)/float64(tVW))
+		vw.Totals.Im2colCycles, vw.Totals.Cycles, vw.Totals.Speedup)
 
-	imRep, err := mdl.EstimateLayers(imMaps)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vwRep, err := mdl.EstimateLayers(vwMaps)
-	if err != nil {
-		log.Fatal(err)
-	}
+	imRep, vwRep := im.Totals.Energy, vw.Totals.Energy
 	fmt.Println("\nper-inference estimate (synthetic constants, full-array peripherals):")
 	fmt.Printf("  im2col  latency %8v   energy %7.2f uJ   conversions %.1f%%\n",
 		imRep.Latency, imRep.EnergyTotal*1e6, 100*imRep.ConversionFraction())
@@ -60,11 +49,11 @@ func main() {
 		float64(imRep.Latency)/float64(vwRep.Latency))
 
 	// Weighting each distinct shape by its residual-block occurrences
-	// (Count) instead of once-per-shape:
+	// (Count, carried on every LayerPlan) instead of once-per-shape:
 	var wIm, wVW int64
-	for i, cl := range net.Layers {
-		wIm += int64(cl.Count) * imMaps[i].Cycles
-		wVW += int64(cl.Count) * vwMaps[i].Cycles
+	for i, lp := range vw.Layers {
+		wIm += int64(lp.Layer.Count) * im.Layers[i].Search.Best.Cycles
+		wVW += int64(lp.Layer.Count) * lp.Search.Best.Cycles
 	}
 	fmt.Printf("\nweighted by block occurrences: im2col %d, VW-SDK %d cycles -> %.2fx\n",
 		wIm, wVW, float64(wIm)/float64(wVW))

@@ -29,15 +29,14 @@ func main() {
 	}
 	fmt.Println("ideal cells: im2col, SMD, SDK and VW-SDK all bit-exact vs reference ✓")
 
-	// Drill into the VW-SDK plan.
-	res, err := vwsdk.SearchVWSDK(layer, array)
+	// Drill into the VW-SDK plan: compiling with Plans: true builds the
+	// physical weight-placement plan alongside the search.
+	lp, err := vwsdk.NewCompiler(nil).CompileLayer(layer, array,
+		vwsdk.CompileOptions{Plans: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	plan, err := vwsdk.NewPlan(res.Best)
-	if err != nil {
-		log.Fatal(err)
-	}
+	res, plan := lp.Search, lp.Plan
 	fmt.Printf("\nVW-SDK plan: window %s, %d weight tiles x %d window positions = %d cycles\n",
 		res.Best.PW, len(plan.Tiles), len(plan.Positions), res.Best.Cycles)
 	for _, t := range plan.Tiles {

@@ -1,6 +1,6 @@
 // VGG-13 walkthrough: reproduce the VGG-13 half of the paper's Table I and
 // Fig. 8(a) — per-layer mapping decisions, computing cycles and speedups on
-// a 512x512 PIM array, with whole-network totals.
+// a 512x512 PIM array — from two whole-network Compile calls.
 //
 // Run with: go run ./examples/vgg13
 package main
@@ -16,52 +16,42 @@ func main() {
 	net := vwsdk.VGG13()
 	array := vwsdk.PaperArray
 
+	// One compiler, two compilations: the SDK baseline and VW-SDK. The
+	// im2col reference rides along in every per-layer search result.
+	comp := vwsdk.NewCompiler(nil)
+	sdk, err := comp.Compile(net, array, vwsdk.CompileOptions{Scheme: vwsdk.CompileSDK})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vw, err := comp.Compile(net, array, vwsdk.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%s on a %v PIM array (paper Table I / Fig. 8a)\n\n", net.Name, array)
 	fmt.Printf("%-8s %-14s %10s %10s %10s   %-14s %8s\n",
 		"layer", "kernel", "im2col", "SDK", "VW-SDK", "VW window", "speedup")
-
-	var tIm, tSDK, tVW int64
-	for _, cl := range net.Layers {
+	for i, cl := range net.Layers {
 		l := cl.Layer
-		im, err := vwsdk.Im2col(l, array)
-		if err != nil {
-			log.Fatal(err)
-		}
-		sdk, err := vwsdk.SearchSDK(l, array)
-		if err != nil {
-			log.Fatal(err)
-		}
-		vw, err := vwsdk.SearchVWSDK(l, array)
-		if err != nil {
-			log.Fatal(err)
-		}
-		tIm += im.Cycles
-		tSDK += sdk.Best.Cycles
-		tVW += vw.Best.Cycles
+		vwRes := vw.Layers[i].Search
 		fmt.Printf("%-8s %dx%dx%dx%-6d %10d %10d %10d   %-14s %7.2fx\n",
 			l.Name, l.KW, l.KH, l.IC, l.OC,
-			im.Cycles, sdk.Best.Cycles, vw.Best.Cycles,
-			vw.Best.TileString(), vw.SpeedupVsIm2col())
+			vwRes.Im2col.Cycles, sdk.Layers[i].Search.Best.Cycles, vwRes.Best.Cycles,
+			vwRes.Best.TileString(), vwRes.SpeedupVsIm2col())
 	}
-	fmt.Printf("\n%-8s %-14s %10d %10d %10d\n", "total", "", tIm, tSDK, tVW)
+	fmt.Printf("\n%-8s %-14s %10d %10d %10d\n", "total", "",
+		vw.Totals.Im2colCycles, sdk.Totals.Cycles, vw.Totals.Cycles)
 	fmt.Printf("\nVW-SDK speedup: %.2fx vs im2col, %.2fx vs SDK",
-		float64(tIm)/float64(tVW), float64(tSDK)/float64(tVW))
+		vw.Totals.Speedup, float64(sdk.Totals.Cycles)/float64(vw.Totals.Cycles))
 	fmt.Printf("   (paper: 3.16x and 1.49x)\n")
 
 	// Utilization story of Fig. 9(a): after layer 3 the SDK baseline can
 	// no longer grow windows, while VW-SDK keeps the array busy.
 	fmt.Println("\nutilization (eq. 9), layers 1-6:")
-	for _, cl := range net.Layers[:6] {
-		im, err := vwsdk.Im2col(cl.Layer, array)
-		if err != nil {
-			log.Fatal(err)
-		}
-		vw, err := vwsdk.SearchVWSDK(cl.Layer, array)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, cl := range net.Layers[:6] {
+		res := vw.Layers[i].Search
 		fmt.Printf("  %-8s im2col %5.1f%%   VW-SDK %5.1f%% (peak %5.1f%%)\n",
-			cl.Name, im.Utilization(),
-			vw.Best.Utilization(), vw.Best.PeakUtilization())
+			cl.Name, res.Im2col.Utilization(),
+			res.Best.Utilization(), res.Best.PeakUtilization())
 	}
 }

@@ -1,0 +1,324 @@
+// Package compile is the whole-network compilation pipeline: it takes a CNN
+// (model.Network), a PIM crossbar geometry (core.Array), a chip size and an
+// energy model, and produces a NetworkPlan — the single artifact that
+// represents "this network, compiled for this chip".
+//
+// A NetworkPlan holds, per layer, the chosen mapping (a core.Result from the
+// selected search), its placement on the multi-array chip
+// (chip.LayerSchedule), its latency/energy estimate (energy.Report) and,
+// optionally, the physical weight-placement plan (mapping.Plan); network
+// totals (cycles, speedup vs im2col, makespan, energy, utilization) are
+// computed once, in one place, in layer order, so they are bit-identical to
+// the hand-wired SearchNetwork + chip.ScheduleNetwork +
+// energy.EstimateLayers path the experiments, CLIs and examples previously
+// stitched together themselves.
+//
+// The stages run as a pipeline: layer searches fan out through the
+// compiler's Searcher (normally the concurrent, memoizing engine), and
+// scheduling, energy estimation and physical planning stream per layer as
+// each search completes — layer i's schedule is built while layer j is still
+// searching. Options selects the mapping scheme, the VW-SDK ablation
+// variant, the chip size and the peripheral model, so one Compile call
+// covers every ablation the repository evaluates.
+package compile
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/mapping"
+	"repro/internal/model"
+)
+
+// Scheme selects the mapping search a compilation runs. The zero value is
+// the paper's VW-SDK search, so a zero Options compiles the full algorithm;
+// the core package's Scheme enum instead starts at im2col, matching the
+// paper's figure order, which would make the zero Options a baseline.
+type Scheme int
+
+// The four mapping searches a Compiler can run.
+const (
+	// VWSDK runs Algorithm 1 (or the Options.Variant ablation of it).
+	VWSDK Scheme = iota
+	// Im2col costs the im2col baseline (no search).
+	Im2col
+	// SMD searches sub-matrix duplication factors.
+	SMD
+	// SDK searches square windows with entire channels.
+	SDK
+)
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case VWSDK:
+		return core.SchemeVWSDK.String()
+	case Im2col:
+		return core.SchemeIm2col.String()
+	case SMD:
+		return core.SchemeSMD.String()
+	case SDK:
+		return core.SchemeSDK.String()
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Options configures one compilation. The zero value compiles the full
+// VW-SDK search for a single-array chip under the default energy model.
+type Options struct {
+	// Scheme selects the mapping search: VWSDK (the default), Im2col, SMD
+	// or SDK.
+	Scheme Scheme
+
+	// Variant selects a VW-SDK ablation (VariantFull, VariantSquareTiled,
+	// VariantRectFullChannel); only consulted when Scheme is VWSDK.
+	Variant core.Variant
+
+	// Arrays is the number of crossbars on the chip; values below 1 mean a
+	// single array.
+	Arrays int
+
+	// Energy holds the technology constants; nil selects energy.Default().
+	Energy *energy.Model
+
+	// GatePeripherals counts conversions on the programmed tile footprint
+	// instead of the whole array (energy.Model.GatePeripherals), applied on
+	// top of whichever model Energy selects.
+	GatePeripherals bool
+
+	// Plans additionally builds the physical weight-placement plan
+	// (mapping.NewPlan) for every layer. Plans are execution artifacts, not
+	// part of the serialized NetworkPlan.
+	Plans bool
+}
+
+// normalized fills in the option defaults.
+func (o Options) normalized() Options {
+	if o.Arrays < 1 {
+		o.Arrays = 1
+	}
+	if o.Energy == nil {
+		m := energy.Default()
+		o.Energy = &m
+	}
+	if o.GatePeripherals {
+		m := *o.Energy
+		m.GatePeripherals = true
+		o.Energy = &m
+	}
+	return o
+}
+
+// LayerPlan is one layer of a compiled network.
+type LayerPlan struct {
+	// Layer is the compiled layer with its occurrence count.
+	Layer model.ConvLayer
+
+	// Search is the chosen mapping and its im2col baseline.
+	Search core.Result
+
+	// Schedule places the chosen mapping on the chip.
+	Schedule chip.LayerSchedule
+
+	// Energy is the per-inference latency/energy estimate of the chosen
+	// mapping.
+	Energy energy.Report
+
+	// Plan is the physical weight-placement plan; nil unless Options.Plans
+	// was set. Plans are rebuilt, not serialized (see FromJSON).
+	Plan *mapping.Plan `json:"-"`
+}
+
+// Totals are the whole-network numbers, aggregated over one entry per
+// distinct layer shape (the paper's Table I convention, matching
+// core.NetworkResult).
+type Totals struct {
+	// Cycles and Im2colCycles sum the chosen and baseline mappings' cycles.
+	Cycles       int64
+	Im2colCycles int64
+
+	// Speedup is Im2colCycles / Cycles.
+	Speedup float64
+
+	// Makespan is the layer-sequential chip latency in computing cycles;
+	// Programs counts tile programmings across the chip.
+	Makespan int64
+	Programs int
+
+	// Utilization is the cycle-weighted mean array utilization (eq. 9) of
+	// the chosen mappings, in percent.
+	Utilization float64
+
+	// Energy is the component-wise sum of the per-layer reports.
+	Energy energy.Report
+}
+
+// NetworkPlan is a compiled network: per-layer decisions plus totals. Build
+// one with Compiler.Compile; serialize it with ToJSON / FromJSON.
+type NetworkPlan struct {
+	// Network is the compiled network specification.
+	Network model.Network
+
+	// Array is the crossbar geometry the network was compiled for.
+	Array core.Array
+
+	// Options records the compilation options (with defaults applied).
+	Options Options
+
+	// Layers holds one plan per network layer, in network order.
+	Layers []LayerPlan
+
+	// Totals are the whole-network aggregates.
+	Totals Totals
+}
+
+// Compiler compiles networks through a core.Searcher. Build one with New;
+// a single Compiler may be shared by any number of goroutines and reuses
+// its searcher's cache across Compile calls.
+type Compiler struct {
+	s core.Searcher
+}
+
+// New returns a Compiler running its searches through s; a nil s selects a
+// fresh concurrent engine (engine.New).
+func New(s core.Searcher) *Compiler {
+	if s == nil {
+		s = engine.New()
+	}
+	return &Compiler{s: s}
+}
+
+// Searcher returns the searcher the compiler runs on.
+func (c *Compiler) Searcher() core.Searcher { return c.s }
+
+// search runs the option-selected mapping search for one layer.
+func (c *Compiler) search(l core.Layer, a core.Array, opts Options) (core.Result, error) {
+	switch opts.Scheme {
+	case Im2col:
+		m, err := core.Im2col(l, a)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return core.Result{Best: m, Im2col: m}, nil
+	case SMD:
+		return c.s.SearchSMD(l, a)
+	case SDK:
+		return c.s.SearchSDK(l, a)
+	case VWSDK:
+		return c.s.SearchVariant(l, a, opts.Variant)
+	default:
+		return core.Result{}, fmt.Errorf("compile: unknown scheme %v", opts.Scheme)
+	}
+}
+
+// compileLayer runs the full per-layer pipeline: search, then schedule,
+// energy and (optionally) the physical plan as soon as the search returns.
+func (c *Compiler) compileLayer(cl model.ConvLayer, a core.Array, opts Options) (LayerPlan, error) {
+	lp := LayerPlan{Layer: cl}
+	res, err := c.search(cl.Layer, a, opts)
+	if err != nil {
+		return LayerPlan{}, err
+	}
+	lp.Search = res
+	if lp.Schedule, err = chip.ScheduleLayer(res.Best, opts.Arrays); err != nil {
+		return LayerPlan{}, err
+	}
+	if lp.Energy, err = opts.Energy.Estimate(res.Best); err != nil {
+		return LayerPlan{}, err
+	}
+	if opts.Plans {
+		if lp.Plan, err = mapping.NewPlan(res.Best); err != nil {
+			return LayerPlan{}, err
+		}
+	}
+	return lp, nil
+}
+
+// Compile compiles network n for array a under opts. Layer pipelines run
+// concurrently (searches fan out through the compiler's searcher; scheduling,
+// energy and planning stream per layer as searches complete); results are
+// returned in layer order and the first error in layer order wins.
+func (c *Compiler) Compile(n model.Network, a core.Array, opts Options) (*NetworkPlan, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.normalized()
+	if err := opts.Energy.Validate(); err != nil {
+		return nil, err
+	}
+	p := &NetworkPlan{Network: n, Array: a, Options: opts,
+		Layers: make([]LayerPlan, len(n.Layers))}
+	errs := make([]error, len(n.Layers))
+	var wg sync.WaitGroup
+	for i, cl := range n.Layers {
+		wg.Add(1)
+		go func(i int, cl model.ConvLayer) {
+			defer wg.Done()
+			p.Layers[i], errs[i] = c.compileLayer(cl, a, opts)
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("compile: %s/%s: %w", n.Name, n.Layers[i].Name, err)
+		}
+	}
+	p.Totals = totals(p.Layers)
+	return p, nil
+}
+
+// CompileLayer compiles a single layer (wrapped as a one-layer network) and
+// returns its LayerPlan.
+func (c *Compiler) CompileLayer(l core.Layer, a core.Array, opts Options) (LayerPlan, error) {
+	p, err := c.Compile(model.Single(l), a, opts)
+	if err != nil {
+		return LayerPlan{}, err
+	}
+	return p.Layers[0], nil
+}
+
+// totals aggregates the per-layer plans in layer order — the one place
+// whole-network numbers are computed.
+func totals(layers []LayerPlan) Totals {
+	var t Totals
+	var utilCycles float64
+	for _, lp := range layers {
+		t.Cycles += lp.Search.Best.Cycles
+		t.Im2colCycles += lp.Search.Im2col.Cycles
+		t.Makespan += lp.Schedule.Makespan
+		t.Programs += lp.Schedule.Programs
+		t.Energy.Add(lp.Energy)
+		utilCycles += lp.Search.Best.Utilization() * float64(lp.Search.Best.Cycles)
+	}
+	if t.Cycles > 0 {
+		t.Speedup = float64(t.Im2colCycles) / float64(t.Cycles)
+		t.Utilization = utilCycles / float64(t.Cycles)
+	}
+	return t
+}
+
+// Validate cross-checks the plan's totals against its per-layer entries:
+// total energy must equal the component-wise sum of the layer reports, the
+// makespan must equal the sum of the layer schedules, and the cycle totals
+// must match the searches. Deserialized plans (FromJSON) are validated with
+// this.
+func (p *NetworkPlan) Validate() error {
+	if len(p.Layers) != len(p.Network.Layers) {
+		return fmt.Errorf("compile: plan has %d layer plans for %d network layers",
+			len(p.Layers), len(p.Network.Layers))
+	}
+	want := totals(p.Layers)
+	if want != p.Totals {
+		return fmt.Errorf("compile: totals %+v inconsistent with layers (recomputed %+v)",
+			p.Totals, want)
+	}
+	return nil
+}

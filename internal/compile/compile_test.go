@@ -1,0 +1,289 @@
+package compile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chip"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+var array512 = core.Array{Rows: 512, Cols: 512}
+
+// TestCompileMatchesHandWiredPath is the acceptance differential test: a
+// Compile of VGG-13 (and ResNet-18) on the paper's array must be
+// bit-identical to the pre-pipeline path — core.SearchNetwork for the
+// per-layer results and cycle totals, chip.ScheduleNetwork for the makespan
+// and programmings, and energy.EstimateLayers for the energy report.
+func TestCompileMatchesHandWiredPath(t *testing.T) {
+	c := New(engine.New())
+	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
+		for _, nArrays := range []int{1, 8} {
+			p, err := c.Compile(n, array512, Options{Arrays: nArrays})
+			if err != nil {
+				t.Fatalf("%s: %v", n.Name, err)
+			}
+
+			want, err := core.SearchNetwork(n.CoreLayers(), array512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Totals.Cycles != want.TotalCycles || p.Totals.Im2colCycles != want.TotalIm2col {
+				t.Errorf("%s: totals %d/%d, want %d/%d", n.Name,
+					p.Totals.Cycles, p.Totals.Im2colCycles, want.TotalCycles, want.TotalIm2col)
+			}
+			if p.Totals.Speedup != want.Speedup() {
+				t.Errorf("%s: speedup %v, want %v", n.Name, p.Totals.Speedup, want.Speedup())
+			}
+			best := make([]core.Mapping, len(want.Results))
+			for i, res := range want.Results {
+				if !reflect.DeepEqual(p.Layers[i].Search, res) {
+					t.Errorf("%s/%s: search result differs from serial", n.Name, n.Layers[i].Name)
+				}
+				best[i] = res.Best
+			}
+
+			sched, err := chip.ScheduleNetwork(best, nArrays)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Totals.Makespan != sched.Makespan || p.Totals.Programs != sched.Programs {
+				t.Errorf("%s on %d arrays: makespan/programs %d/%d, want %d/%d", n.Name,
+					nArrays, p.Totals.Makespan, p.Totals.Programs, sched.Makespan, sched.Programs)
+			}
+
+			rep, err := energy.Default().EstimateLayers(best)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Totals.Energy != rep {
+				t.Errorf("%s: energy totals differ\ncompile %+v\nserial  %+v",
+					n.Name, p.Totals.Energy, rep)
+			}
+		}
+	}
+}
+
+// TestCompileSchemes pins each Scheme onto the search it selects.
+func TestCompileSchemes(t *testing.T) {
+	c := New(core.Serial{})
+	l := core.Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	cases := []struct {
+		scheme Scheme
+		want   func() (core.Result, error)
+	}{
+		{VWSDK, func() (core.Result, error) { return core.SearchVWSDK(l, array512) }},
+		{SDK, func() (core.Result, error) { return core.SearchSDK(l, array512) }},
+		{SMD, func() (core.Result, error) { return core.SearchSMD(l, array512) }},
+		{Im2col, func() (core.Result, error) {
+			m, err := core.Im2col(l, array512)
+			return core.Result{Best: m, Im2col: m}, err
+		}},
+	}
+	for _, tc := range cases {
+		want, err := tc.want()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := c.CompileLayer(l, array512, Options{Scheme: tc.scheme})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.scheme, err)
+		}
+		if !reflect.DeepEqual(lp.Search, want) {
+			t.Errorf("%v: search differs\ncompile %+v\nserial  %+v", tc.scheme, lp.Search, want)
+		}
+	}
+	if _, err := c.CompileLayer(l, array512, Options{Scheme: Scheme(42)}); err == nil ||
+		!strings.Contains(err.Error(), "unknown scheme") {
+		t.Errorf("unknown scheme accepted: %v", err)
+	}
+}
+
+// TestCompileVariants pins the VW-SDK ablation selection.
+func TestCompileVariants(t *testing.T) {
+	c := New(core.Serial{})
+	l := core.Layer{Name: "conv5", IW: 56, IH: 56, KW: 3, KH: 3, IC: 128, OC: 256}
+	for _, v := range []core.Variant{core.VariantFull, core.VariantSquareTiled, core.VariantRectFullChannel} {
+		want, err := core.SearchVariant(l, array512, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := c.CompileLayer(l, array512, Options{Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(lp.Search, want) {
+			t.Errorf("variant %v: search differs from serial", v)
+		}
+	}
+}
+
+// TestCompileScheduleEnergyInteraction covers the chip-schedule × energy
+// coupling on both schedule regimes: the plan's total energy must equal the
+// component-wise sum of its per-layer reports, and each layer's makespan
+// must match chip.ScheduleLayer for chips with more arrays than tiles
+// (replication) and fewer arrays than tiles (sequential rounds).
+func TestCompileScheduleEnergyInteraction(t *testing.T) {
+	c := New(core.Serial{})
+	// conv5 on 512x512 maps to a single tile (AR=AC=1); conv1's im2col rows
+	// exceed one array, giving multiple tiles. A 4-array chip is then above
+	// conv5's tile count (replication path) and below VGG-13 conv8's
+	// (sequential-rounds path).
+	n := model.VGG13()
+	const nArrays = 4
+	p, err := c.Compile(n, array512, Options{Arrays: nArrays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum energy.Report
+	var makespan int64
+	sawReplicated, sawRounds := false, false
+	for i, lp := range p.Layers {
+		sum.Add(lp.Energy)
+		makespan += lp.Schedule.Makespan
+		want, err := chip.ScheduleLayer(lp.Search.Best, nArrays)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Schedule != want {
+			t.Errorf("%s: schedule %+v, want %+v", n.Layers[i].Name, lp.Schedule, want)
+		}
+		wantRep, err := energy.Default().Estimate(lp.Search.Best)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lp.Energy != wantRep {
+			t.Errorf("%s: energy report differs from direct estimate", n.Layers[i].Name)
+		}
+		switch {
+		case nArrays >= lp.Schedule.Tiles:
+			sawReplicated = true
+			if lp.Schedule.Rounds != 1 || lp.Schedule.Replicas != nArrays/lp.Schedule.Tiles {
+				t.Errorf("%s: replication schedule %+v", n.Layers[i].Name, lp.Schedule)
+			}
+		default:
+			sawRounds = true
+			if lp.Schedule.Replicas != 1 || lp.Schedule.Rounds < 2 {
+				t.Errorf("%s: rounds schedule %+v", n.Layers[i].Name, lp.Schedule)
+			}
+		}
+	}
+	if !sawReplicated || !sawRounds {
+		t.Fatalf("test network did not cover both schedule regimes on %d arrays "+
+			"(replicated=%v rounds=%v)", nArrays, sawReplicated, sawRounds)
+	}
+	if p.Totals.Energy != sum {
+		t.Errorf("total energy %+v != sum of layer reports %+v", p.Totals.Energy, sum)
+	}
+	if p.Totals.Makespan != makespan {
+		t.Errorf("total makespan %d != sum of layer makespans %d", p.Totals.Makespan, makespan)
+	}
+}
+
+// TestCompileOptionDefaults checks zero-value normalization: one array, the
+// default energy model, VW-SDK, and gated peripherals layered on top.
+func TestCompileOptionDefaults(t *testing.T) {
+	c := New(core.Serial{})
+	l := core.Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64}
+	p, err := c.Compile(model.Single(l), array512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Options.Arrays != 1 || p.Options.Energy == nil {
+		t.Errorf("defaults not applied: %+v", p.Options)
+	}
+	if p.Options.Energy.GatePeripherals {
+		t.Error("default options gated the peripherals")
+	}
+	if p.Layers[0].Search.Best.Scheme != core.SchemeVWSDK {
+		t.Errorf("zero options compiled %v, want VW-SDK", p.Layers[0].Search.Best.Scheme)
+	}
+	if p.Layers[0].Plan != nil {
+		t.Error("plan built without Options.Plans")
+	}
+
+	gated, err := c.Compile(model.Single(l), array512, Options{GatePeripherals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gated.Options.Energy.GatePeripherals {
+		t.Error("GatePeripherals not applied to the energy model")
+	}
+	if gated.Totals.Energy.EnergyTotal >= p.Totals.Energy.EnergyTotal {
+		t.Errorf("gated energy %g not below full-array %g",
+			gated.Totals.Energy.EnergyTotal, p.Totals.Energy.EnergyTotal)
+	}
+
+	planned, err := c.Compile(model.Single(l), array512, Options{Plans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.Layers[0].Plan == nil {
+		t.Error("Options.Plans did not build the physical plan")
+	}
+}
+
+// TestCompileErrors covers the failure paths: invalid networks, arrays,
+// energy models and infeasible layers, with the failing layer named.
+func TestCompileErrors(t *testing.T) {
+	c := New(core.Serial{})
+	if _, err := c.Compile(model.Network{Name: "empty"}, array512, Options{}); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := c.Compile(model.VGG13(), core.Array{}, Options{}); err == nil {
+		t.Error("invalid array accepted")
+	}
+	bad := energy.Model{}
+	if _, err := c.Compile(model.VGG13(), array512, Options{Energy: &bad}); err == nil {
+		t.Error("invalid energy model accepted")
+	}
+	// A kernel larger than the IFM fails layer validation inside the search;
+	// the compile error must name the failing layer. model.Single would
+	// reject it up front, so build the network by hand.
+	huge := core.Layer{Name: "huge", IW: 8, IH: 8, KW: 16, KH: 16, IC: 1, OC: 1}
+	net := model.Network{Name: "bad", Layers: []model.ConvLayer{{Layer: huge, Count: 1}}}
+	if _, err := c.Compile(net, core.Array{Rows: 8, Cols: 8}, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "huge") {
+		t.Errorf("invalid layer error should name the layer, got %v", err)
+	}
+}
+
+// TestCompilerSharedAcrossOptions checks that one engine-backed compiler
+// reuses searches across compilations (the second compile of the same
+// network is served from cache).
+func TestCompilerSharedAcrossOptions(t *testing.T) {
+	eng := engine.New()
+	c := New(eng)
+	n := model.ResNet18()
+	if _, err := c.Compile(n, array512, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Stats()
+	if _, err := c.Compile(n, array512, Options{Arrays: 16, GatePeripherals: true}); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Stats()
+	if after.CacheMisses != before.CacheMisses {
+		t.Errorf("recompile re-searched: misses %d -> %d", before.CacheMisses, after.CacheMisses)
+	}
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("recompile did not hit the cache: hits %d -> %d", before.CacheHits, after.CacheHits)
+	}
+}
+
+// TestNewNilSearcher pins that New(nil) builds a working engine-backed
+// compiler.
+func TestNewNilSearcher(t *testing.T) {
+	c := New(nil)
+	if c.Searcher() == nil {
+		t.Fatal("nil searcher not defaulted")
+	}
+	if _, err := c.CompileLayer(core.Layer{Name: "c", IW: 8, IH: 8, KW: 3, KH: 3, IC: 2, OC: 2},
+		core.Array{Rows: 64, Cols: 64}, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

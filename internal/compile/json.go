@@ -1,0 +1,30 @@
+package compile
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ToJSON serializes the plan, indented, for caching and tooling. Physical
+// mapping plans (Options.Plans) are execution artifacts and are not
+// serialized; rebuild them with mapping.NewPlan from the per-layer mappings.
+func (p *NetworkPlan) ToJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("compile: marshal plan: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// FromJSON deserializes a plan produced by ToJSON and validates that its
+// totals are consistent with its per-layer entries.
+func FromJSON(data []byte) (*NetworkPlan, error) {
+	var p NetworkPlan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("compile: unmarshal plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,89 @@
+package compile
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestNetworkPlanJSONGolden pins the serialized form of VGG-13 compiled on
+// the paper's 512×512 array against a committed golden file, and checks the
+// full round trip: ToJSON → FromJSON must reproduce identical totals (and
+// per-layer cycle decisions). Regenerate with go test ./internal/compile
+// -run Golden -update.
+func TestNetworkPlanJSONGolden(t *testing.T) {
+	c := New(core.Serial{})
+	p, err := c.Compile(model.VGG13(), array512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := p.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "vgg13_512_plan.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("serialized plan differs from %s; run with -update after intentional changes", golden)
+	}
+
+	// Round trip from the golden bytes: identical totals and decisions.
+	back, err := FromJSON(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Totals != p.Totals {
+		t.Errorf("round-tripped totals differ:\ngot  %+v\nwant %+v", back.Totals, p.Totals)
+	}
+	if back.Network.Name != p.Network.Name || len(back.Layers) != len(p.Layers) {
+		t.Fatalf("round-tripped structure differs: %s/%d layers", back.Network.Name, len(back.Layers))
+	}
+	for i := range p.Layers {
+		if back.Layers[i].Search.Best != p.Layers[i].Search.Best {
+			t.Errorf("layer %d: round-tripped mapping differs", i)
+		}
+		if back.Layers[i].Schedule != p.Layers[i].Schedule {
+			t.Errorf("layer %d: round-tripped schedule differs", i)
+		}
+		if back.Layers[i].Energy != p.Layers[i].Energy {
+			t.Errorf("layer %d: round-tripped energy report differs", i)
+		}
+	}
+}
+
+// TestFromJSONRejectsCorruptTotals pins that deserialization re-validates
+// the totals against the per-layer entries.
+func TestFromJSONRejectsCorruptTotals(t *testing.T) {
+	c := New(core.Serial{})
+	p, err := c.Compile(model.Single(core.Layer{
+		Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64}), array512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Totals.Cycles++ // corrupt
+	data, err := p.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromJSON(data); err == nil {
+		t.Error("corrupt totals accepted")
+	}
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

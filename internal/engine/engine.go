@@ -39,6 +39,7 @@ type Engine struct {
 	searches atomic.Uint64
 	hits     atomic.Uint64
 	misses   atomic.Uint64
+	dedupes  atomic.Uint64
 }
 
 // call is one in-flight search; waiters block on done and read res/err.
@@ -105,6 +106,11 @@ type Stats struct {
 	// CacheMisses counts searches that ran the underlying algorithm.
 	CacheMisses uint64
 
+	// FlightDedupes counts searches that joined an identical in-flight
+	// search instead of starting their own computation (counted at join
+	// time; successful joins are also CacheHits).
+	FlightDedupes uint64
+
 	// CachedResults is the current number of cached results.
 	CachedResults int
 }
@@ -115,6 +121,7 @@ func (e *Engine) Stats() Stats {
 		Searches:      e.searches.Load(),
 		CacheHits:     e.hits.Load(),
 		CacheMisses:   e.misses.Load(),
+		FlightDedupes: e.dedupes.Load(),
 		CachedResults: e.cache.len(),
 	}
 }
@@ -199,6 +206,7 @@ func (e *Engine) memoized(k cacheKey, name string, compute func() (core.Result, 
 	e.mu.Lock()
 	if c, ok := e.flight[k]; ok {
 		e.mu.Unlock()
+		e.dedupes.Add(1)
 		<-c.done
 		if c.err != nil {
 			// The leader's error message names the leader's layer; recompute

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -197,9 +198,75 @@ func TestEngineConcurrentIdenticalSearches(t *testing.T) {
 			t.Fatalf("caller %d: result differs from serial", i)
 		}
 	}
-	if st := e.Stats(); st.CacheMisses != 1 {
+	st := e.Stats()
+	if st.CacheMisses != 1 {
 		t.Errorf("stats = %+v, want exactly 1 computation for %d identical searches",
 			st, callers)
+	}
+	// The 31 non-leaders were served either by joining the leader's
+	// in-flight search or from the cache after it landed; dedupes are the
+	// in-flight subset of the hits.
+	if st.CacheHits != callers-1 {
+		t.Errorf("stats = %+v, want %d cache hits", st, callers-1)
+	}
+	if st.FlightDedupes > st.CacheHits {
+		t.Errorf("stats = %+v: in-flight dedupes exceed cache hits", st)
+	}
+	if st.Searches != st.CacheHits+st.CacheMisses {
+		t.Errorf("stats don't balance: %+v", st)
+	}
+}
+
+// TestEngineFlightDedupeCounter pins FlightDedupes deterministically: with
+// the result cache disabled, a waiter that joins an in-flight search is the
+// only way a hit can happen. The leader holds the engine's single worker
+// slot until the waiter is known to have arrived, so the join is forced.
+func TestEngineFlightDedupeCounter(t *testing.T) {
+	e := New(WithWorkers(1), WithCacheSize(0))
+	l := core.Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	a := core.Array{Rows: 512, Cols: 512}
+
+	// Occupy the single worker slot so the leader's search blocks in
+	// withSlot after registering itself in the flight map.
+	e.sem <- struct{}{}
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := e.SearchVWSDK(l, a)
+		leaderErr <- err
+	}()
+	// Wait until the leader is registered in flight.
+	for {
+		e.mu.Lock()
+		n := len(e.flight)
+		e.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := e.SearchVWSDK(l, a)
+		waiterErr <- err
+	}()
+	// Wait until the waiter has observed the in-flight entry (its dedupe is
+	// counted before it blocks on the leader), then release the slot.
+	for e.Stats().FlightDedupes == 0 {
+		if e.Stats().CacheMisses > 1 {
+			t.Fatal("waiter recomputed instead of joining the in-flight search")
+		}
+		runtime.Gosched()
+	}
+	<-e.sem
+	if err := <-leaderErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-waiterErr; err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Searches != 2 || st.CacheMisses != 1 || st.CacheHits != 1 || st.FlightDedupes != 1 {
+		t.Errorf("stats = %+v, want 2 searches = 1 miss + 1 in-flight dedupe", st)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
@@ -18,16 +19,17 @@ import (
 // Array512 is the paper's default evaluation array.
 var Array512 = core.Array{Rows: 512, Cols: 512}
 
-// defaultSearcher is the engine shared by every generator that is not
-// handed an explicit Searcher: experiments repeat (layer, array) pairs
-// heavily (Table I, Fig. 8 and Fig. 9 all sweep the same networks), so one
-// cache serves them all. Engine results are bit-identical to the serial
-// searches, which the package's golden tests pin against the paper.
-var defaultSearcher = sync.OnceValue(func() core.Searcher { return engine.New() })
+// defaultCompiler is the compile pipeline shared by every generator that is
+// not handed an explicit Compiler. It runs on one concurrent engine:
+// experiments repeat (layer, array) pairs heavily (Table I, Fig. 8 and
+// Fig. 9 all sweep the same networks), so one cache serves them all. Engine
+// results are bit-identical to the serial searches, which the package's
+// golden tests pin against the paper.
+var defaultCompiler = sync.OnceValue(func() *compile.Compiler { return compile.New(engine.New()) })
 
-// DefaultSearcher returns the shared concurrent engine the parameterless
-// generators run on.
-func DefaultSearcher() core.Searcher { return defaultSearcher() }
+// DefaultCompiler returns the shared engine-backed compiler the
+// parameterless generators run on.
+func DefaultCompiler() *compile.Compiler { return defaultCompiler() }
 
 // PaperArrays are the array sizes of the paper's Fig. 8(b), in its order.
 var PaperArrays = []core.Array{
@@ -93,30 +95,38 @@ type trio struct {
 	im, sdk, vw core.Mapping
 }
 
-func mapLayer(s core.Searcher, l core.Layer, a core.Array) (trio, error) {
-	im, err := core.Im2col(l, a)
+// mapLayer compiles one layer under the SDK and VW-SDK schemes (the im2col
+// baseline rides along in every search result).
+func mapLayer(c *compile.Compiler, l core.Layer, a core.Array) (trio, error) {
+	sdk, err := c.CompileLayer(l, a, compile.Options{Scheme: compile.SDK})
 	if err != nil {
 		return trio{}, err
 	}
-	sdk, err := s.SearchSDK(l, a)
+	vw, err := c.CompileLayer(l, a, compile.Options{})
 	if err != nil {
 		return trio{}, err
 	}
-	vw, err := s.SearchVWSDK(l, a)
-	if err != nil {
-		return trio{}, err
-	}
-	return trio{im: im, sdk: sdk.Best, vw: vw.Best}, nil
+	return trio{im: vw.Search.Im2col, sdk: sdk.Search.Best, vw: vw.Search.Best}, nil
 }
 
-func mapNetwork(s core.Searcher, n model.Network, a core.Array) ([]trio, error) {
-	out := make([]trio, 0, len(n.Layers))
-	for _, l := range n.CoreLayers() {
-		tr, err := mapLayer(s, l, a)
-		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", n.Name, l.Name, err)
+// mapNetwork compiles a whole network under the SDK and VW-SDK schemes and
+// pairs the per-layer mappings up in layer order.
+func mapNetwork(c *compile.Compiler, n model.Network, a core.Array) ([]trio, error) {
+	sdk, err := c.Compile(n, a, compile.Options{Scheme: compile.SDK})
+	if err != nil {
+		return nil, err
+	}
+	vw, err := c.Compile(n, a, compile.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trio, len(n.Layers))
+	for i := range n.Layers {
+		out[i] = trio{
+			im:  vw.Layers[i].Search.Im2col,
+			sdk: sdk.Layers[i].Search.Best,
+			vw:  vw.Layers[i].Search.Best,
 		}
-		out = append(out, tr)
 	}
 	return out, nil
 }
@@ -132,12 +142,12 @@ func totals(ts []trio) (im, sdk, vw int64) {
 
 // TableI reproduces the paper's Table I: per-layer window/tile choices of
 // the SDK baseline and VW-SDK, and total cycles per network, on array a
-// (the paper uses 512×512). It runs on the shared engine; TableIWith picks
-// the searcher.
-func TableI(a core.Array) (*Result, error) { return TableIWith(DefaultSearcher(), a) }
+// (the paper uses 512×512). It runs on the shared compiler; TableIWith
+// picks the pipeline.
+func TableI(a core.Array) (*Result, error) { return TableIWith(DefaultCompiler(), a) }
 
-// TableIWith is TableI on an explicit searcher.
-func TableIWith(s core.Searcher, a core.Array) (*Result, error) {
+// TableIWith is TableI on an explicit compile pipeline.
+func TableIWith(c *compile.Compiler, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "table1",
 		Paper: "Table I: information of CNNs and results",
@@ -153,7 +163,7 @@ func TableIWith(s core.Searcher, a core.Array) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
-		ts, err := mapNetwork(s, n, a)
+		ts, err := mapNetwork(c, n, a)
 		if err != nil {
 			return nil, err
 		}

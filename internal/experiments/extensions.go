@@ -3,21 +3,21 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/compile"
 	"repro/internal/core"
-	"repro/internal/energy"
 	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/textplot"
 )
 
 // Ablation (extension E11) attributes VW-SDK's gain between its two ideas —
-// rectangular windows and channel tiling — by running the restricted
-// variants of the search, with the SMD baseline for context. It runs on the
-// shared engine; AblationWith picks the searcher.
-func Ablation(a core.Array) (*Result, error) { return AblationWith(DefaultSearcher(), a) }
+// rectangular windows and channel tiling — by compiling each network under
+// the restricted variants of the search, with the SMD baseline for context.
+// It runs on the shared compiler; AblationWith picks the pipeline.
+func Ablation(a core.Array) (*Result, error) { return AblationWith(DefaultCompiler(), a) }
 
-// AblationWith is Ablation on an explicit searcher.
-func AblationWith(s core.Searcher, a core.Array) (*Result, error) {
+// AblationWith is Ablation on an explicit compile pipeline.
+func AblationWith(c *compile.Compiler, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "ablation",
 		Paper: "Extension: ablation of VW-SDK's two ideas (DESIGN.md §5)",
@@ -31,61 +31,39 @@ func AblationWith(s core.Searcher, a core.Array) (*Result, error) {
 		},
 		Summary: map[string]float64{},
 	}
+	// Each ablation is one compile of the whole network; the pipeline's
+	// totals replace the old hand-summed per-layer loops.
+	ablations := []struct {
+		name string
+		opts compile.Options
+	}{
+		{"SMD", compile.Options{Scheme: compile.SMD}},
+		{"SDK (square, full channels)", compile.Options{Scheme: compile.SDK}},
+		{"square + tiled channels", compile.Options{Variant: core.VariantSquareTiled}},
+		{"rect + full channels", compile.Options{Variant: core.VariantRectFullChannel}},
+		{"VW-SDK (full)", compile.Options{}},
+	}
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
-		layers := n.CoreLayers()
-		var im, smd, sdk, sq, rect, vw int64
-		for _, l := range layers {
-			m, err := core.Im2col(l, a)
+		cycles := make([]int64, len(ablations))
+		var im int64
+		for i, ab := range ablations {
+			p, err := c.Compile(n, a, ab.opts)
 			if err != nil {
 				return nil, err
 			}
-			im += m.Cycles
-			rs, err := s.SearchSMD(l, a)
-			if err != nil {
-				return nil, err
-			}
-			smd += rs.Best.Cycles
-			rk, err := s.SearchSDK(l, a)
-			if err != nil {
-				return nil, err
-			}
-			sdk += rk.Best.Cycles
-			rq, err := s.SearchVariant(l, a, core.VariantSquareTiled)
-			if err != nil {
-				return nil, err
-			}
-			sq += rq.Best.Cycles
-			rr, err := s.SearchVariant(l, a, core.VariantRectFullChannel)
-			if err != nil {
-				return nil, err
-			}
-			rect += rr.Best.Cycles
-			rv, err := s.SearchVWSDK(l, a)
-			if err != nil {
-				return nil, err
-			}
-			vw += rv.Best.Cycles
+			cycles[i] = p.Totals.Cycles
+			im = p.Totals.Im2colCycles
+		}
+		r.Table.AddRow(n.Name, "im2col", im, "1.00")
+		for i, ab := range ablations {
+			sp := float64(im) / float64(cycles[i])
+			r.Table.AddRow(n.Name, ab.name, cycles[i], fmt.Sprintf("%.2f", sp))
 		}
 		key := netKey(n)
-		rows := []struct {
-			name   string
-			cycles int64
-		}{
-			{"im2col", im},
-			{"SMD", smd},
-			{"SDK (square, full channels)", sdk},
-			{"square + tiled channels", sq},
-			{"rect + full channels", rect},
-			{"VW-SDK (full)", vw},
-		}
-		for _, row := range rows {
-			sp := float64(im) / float64(row.cycles)
-			r.Table.AddRow(n.Name, row.name, row.cycles, fmt.Sprintf("%.2f", sp))
-		}
-		r.Summary[key+"/square-tiled-cycles"] = float64(sq)
-		r.Summary[key+"/rect-full-cycles"] = float64(rect)
-		r.Summary[key+"/vw-cycles"] = float64(vw)
-		r.Summary[key+"/smd-cycles"] = float64(smd)
+		r.Summary[key+"/smd-cycles"] = float64(cycles[0])
+		r.Summary[key+"/square-tiled-cycles"] = float64(cycles[2])
+		r.Summary[key+"/rect-full-cycles"] = float64(cycles[3])
+		r.Summary[key+"/vw-cycles"] = float64(cycles[4])
 	}
 	return r, nil
 }
@@ -93,14 +71,11 @@ func AblationWith(s core.Searcher, a core.Array) (*Result, error) {
 // Energy (extension E12) estimates per-inference latency and energy for
 // im2col, SDK and VW-SDK under the default (full-array peripherals) model
 // and reports the conversion-dominated split the paper cites. It runs on
-// the shared engine; EnergyWith picks the searcher.
-func Energy(a core.Array) (*Result, error) { return EnergyWith(DefaultSearcher(), a) }
+// the shared compiler; EnergyWith picks the pipeline.
+func Energy(a core.Array) (*Result, error) { return EnergyWith(DefaultCompiler(), a) }
 
-// EnergyWith is Energy on an explicit searcher.
-func EnergyWith(s core.Searcher, a core.Array) (*Result, error) {
-	mdl := energy.Default()
-	gated := mdl
-	gated.GatePeripherals = true
+// EnergyWith is Energy on an explicit compile pipeline.
+func EnergyWith(c *compile.Compiler, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "energy",
 		Paper: "Extension: latency/energy estimate (conversion-dominated, Section II-B)",
@@ -115,32 +90,27 @@ func EnergyWith(s core.Searcher, a core.Array) (*Result, error) {
 		},
 		Summary: map[string]float64{},
 	}
+	schemes := []struct {
+		name   string
+		scheme compile.Scheme
+	}{
+		{"im2col", compile.Im2col},
+		{"SDK", compile.SDK},
+		{"VW-SDK", compile.VWSDK},
+	}
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
-		ts, err := mapNetwork(s, n, a)
-		if err != nil {
-			return nil, err
-		}
-		schemes := []struct {
-			name string
-			get  func(trio) core.Mapping
-		}{
-			{"im2col", func(t trio) core.Mapping { return t.im }},
-			{"SDK", func(t trio) core.Mapping { return t.sdk }},
-			{"VW-SDK", func(t trio) core.Mapping { return t.vw }},
-		}
 		for _, s := range schemes {
-			ms := make([]core.Mapping, len(ts))
-			for i, t := range ts {
-				ms[i] = s.get(t)
-			}
-			rep, err := mdl.EstimateLayers(ms)
+			// Two compiles per scheme — default and gated peripherals; the
+			// searches behind them are shared through the compiler's cache.
+			p, err := c.Compile(n, a, compile.Options{Scheme: s.scheme})
 			if err != nil {
 				return nil, err
 			}
-			gRep, err := gated.EstimateLayers(ms)
+			gp, err := c.Compile(n, a, compile.Options{Scheme: s.scheme, GatePeripherals: true})
 			if err != nil {
 				return nil, err
 			}
+			rep, gRep := p.Totals.Energy, gp.Totals.Energy
 			r.Table.AddRow(n.Name, s.name, rep.Cycles, rep.Latency,
 				fmt.Sprintf("%.2f", rep.EnergyTotal*1e6),
 				fmt.Sprintf("%.1f", 100*rep.ConversionFraction()),
@@ -202,26 +172,26 @@ func VerifyFunctional(seed uint64) (*Result, error) {
 
 // generators lists every experiment with the paper's default parameters, in
 // DESIGN.md §4 order. Generators that search do so through the given
-// searcher; the purely arithmetic ones (Fig. 4, 5, 7) and the simulator-
-// and precision-bound ones ignore it.
-func generators(s core.Searcher) []generator {
+// compile pipeline; the purely arithmetic ones (Fig. 4, 5, 7) and the
+// simulator- and precision-bound ones ignore it.
+func generators(c *compile.Compiler) []generator {
 	return []generator{
-		{"table1", func() (*Result, error) { return TableIWith(s, Array512) }},
+		{"table1", func() (*Result, error) { return TableIWith(c, Array512) }},
 		{"fig4", Fig4},
 		{"fig5a", Fig5a},
 		{"fig5b", Fig5b},
 		{"fig7a", Fig7a},
 		{"fig7b", Fig7b},
-		{"fig8a", func() (*Result, error) { return Fig8aWith(s, Array512) }},
-		{"fig8b", func() (*Result, error) { return Fig8bWith(s) }},
-		{"fig9a", func() (*Result, error) { return Fig9aWith(s, Array512) }},
-		{"fig9b", func() (*Result, error) { return Fig9bWith(s) }},
-		{"ablation", func() (*Result, error) { return AblationWith(s, Array512) }},
-		{"energy", func() (*Result, error) { return EnergyWith(s, Array512) }},
+		{"fig8a", func() (*Result, error) { return Fig8aWith(c, Array512) }},
+		{"fig8b", func() (*Result, error) { return Fig8bWith(c) }},
+		{"fig9a", func() (*Result, error) { return Fig9aWith(c, Array512) }},
+		{"fig9b", func() (*Result, error) { return Fig9bWith(c) }},
+		{"ablation", func() (*Result, error) { return AblationWith(c, Array512) }},
+		{"energy", func() (*Result, error) { return EnergyWith(c, Array512) }},
 		{"verify", func() (*Result, error) { return VerifyFunctional(0xbeef) }},
 		{"bitslice", func() (*Result, error) { return Bitslice(Array512) }},
-		{"chip", func() (*Result, error) { return ChipWith(s, Array512) }},
-		{"reuse", func() (*Result, error) { return ReuseWith(s, Array512) }},
+		{"chip", func() (*Result, error) { return ChipWith(c, Array512) }},
+		{"reuse", func() (*Result, error) { return ReuseWith(c, Array512) }},
 	}
 }
 
@@ -233,7 +203,7 @@ type generator struct {
 
 // IDs returns every experiment identifier, in run order.
 func IDs() []string {
-	gens := generators(core.Serial{})
+	gens := generators(nil) // names only; the generator closures never run
 	ids := make([]string, len(gens))
 	for i, g := range gens {
 		ids[i] = g.name
@@ -241,14 +211,14 @@ func IDs() []string {
 	return ids
 }
 
-// All regenerates every experiment on the shared engine.
-func All() ([]*Result, error) { return Run(DefaultSearcher()) }
+// All regenerates every experiment on the shared compiler.
+func All() ([]*Result, error) { return Run(DefaultCompiler()) }
 
 // Run regenerates the experiments with the given ids (all of them when none
-// are listed) through searcher s, in DESIGN.md §4 order. Unknown ids error
-// before anything runs.
-func Run(s core.Searcher, ids ...string) ([]*Result, error) {
-	gens := generators(s)
+// are listed) through compile pipeline c, in DESIGN.md §4 order. Unknown
+// ids error before anything runs.
+func Run(c *compile.Compiler, ids ...string) ([]*Result, error) {
+	gens := generators(c)
 	if len(ids) > 0 {
 		byName := make(map[string]generator, len(gens))
 		for _, g := range gens {

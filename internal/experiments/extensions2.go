@@ -4,9 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/bitslice"
-	"repro/internal/chip"
+	"repro/internal/compile"
 	"repro/internal/core"
-	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/textplot"
 )
@@ -68,12 +67,12 @@ func Bitslice(a core.Array) (*Result, error) {
 }
 
 // Chip (extension E15) scales each network across multi-array chips,
-// comparing VW-SDK and im2col makespans. It runs on the shared engine;
-// ChipWith picks the searcher.
-func Chip(a core.Array) (*Result, error) { return ChipWith(DefaultSearcher(), a) }
+// comparing VW-SDK and im2col makespans. It runs on the shared compiler;
+// ChipWith picks the pipeline.
+func Chip(a core.Array) (*Result, error) { return ChipWith(DefaultCompiler(), a) }
 
-// ChipWith is Chip on an explicit searcher.
-func ChipWith(s core.Searcher, a core.Array) (*Result, error) {
+// ChipWith is Chip on an explicit compile pipeline.
+func ChipWith(c *compile.Compiler, a core.Array) (*Result, error) {
 	counts := []int{1, 2, 4, 8, 16, 32, 64}
 	r := &Result{
 		ID:    "chip",
@@ -89,35 +88,34 @@ func ChipWith(s core.Searcher, a core.Array) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
-		ts, err := mapNetwork(s, n, a)
-		if err != nil {
-			return nil, err
-		}
-		imMaps := make([]core.Mapping, len(ts))
-		vwMaps := make([]core.Mapping, len(ts))
-		for i, t := range ts {
-			imMaps[i] = t.im
-			vwMaps[i] = t.vw
-		}
-		imScale, err := chip.Scale(imMaps, counts)
-		if err != nil {
-			return nil, err
-		}
-		vwScale, err := chip.Scale(vwMaps, counts)
-		if err != nil {
-			return nil, err
+		// One compile per (scheme, chip size); the per-layer searches behind
+		// every chip size are served once from the compiler's cache.
+		imSpans := make([]int64, len(counts))
+		vwSpans := make([]int64, len(counts))
+		for i, count := range counts {
+			imPlan, err := c.Compile(n, a, compile.Options{Scheme: compile.Im2col, Arrays: count})
+			if err != nil {
+				return nil, err
+			}
+			vwPlan, err := c.Compile(n, a, compile.Options{Arrays: count})
+			if err != nil {
+				return nil, err
+			}
+			imSpans[i] = imPlan.Totals.Makespan
+			vwSpans[i] = vwPlan.Totals.Makespan
 		}
 		cats := make([]string, 0, len(counts))
 		scaling := textplot.Series{Name: "VW-SDK scaling"}
-		for i, c := range counts {
-			r.Table.AddRow(n.Name, c, imScale.Makespan[i], vwScale.Makespan[i],
-				fmt.Sprintf("%.2f", float64(imScale.Makespan[i])/float64(vwScale.Makespan[i])),
-				fmt.Sprintf("%.2f", vwScale.Speedup[i]))
-			cats = append(cats, fmt.Sprint(c))
-			scaling.Values = append(scaling.Values, vwScale.Speedup[i])
-			key := fmt.Sprintf("%s/arrays%d", netKey(n), c)
-			r.Summary[key+"/vw-makespan"] = float64(vwScale.Makespan[i])
-			r.Summary[key+"/vw-scaling"] = vwScale.Speedup[i]
+		for i, count := range counts {
+			vwScaling := float64(vwSpans[0]) / float64(vwSpans[i])
+			r.Table.AddRow(n.Name, count, imSpans[i], vwSpans[i],
+				fmt.Sprintf("%.2f", float64(imSpans[i])/float64(vwSpans[i])),
+				fmt.Sprintf("%.2f", vwScaling))
+			cats = append(cats, fmt.Sprint(count))
+			scaling.Values = append(scaling.Values, vwScaling)
+			key := fmt.Sprintf("%s/arrays%d", netKey(n), count)
+			r.Summary[key+"/vw-makespan"] = float64(vwSpans[i])
+			r.Summary[key+"/vw-scaling"] = vwScaling
 		}
 		r.Charts = append(r.Charts, textplot.GroupedBars(
 			fmt.Sprintf("%s VW-SDK scaling over chip size", n.Name),
@@ -128,12 +126,12 @@ func ChipWith(s core.Searcher, a core.Array) (*Result, error) {
 
 // Reuse (extension E17) quantifies the input-reuse motivation of the
 // paper's Fig. 1: average DAC loads per distinct IFM element for each
-// mapping scheme on ResNet-18. It runs on the shared engine; ReuseWith
-// picks the searcher.
-func Reuse(a core.Array) (*Result, error) { return ReuseWith(DefaultSearcher(), a) }
+// mapping scheme on ResNet-18. It runs on the shared compiler; ReuseWith
+// picks the pipeline.
+func Reuse(a core.Array) (*Result, error) { return ReuseWith(DefaultCompiler(), a) }
 
-// ReuseWith is Reuse on an explicit searcher.
-func ReuseWith(s core.Searcher, a core.Array) (*Result, error) {
+// ReuseWith is Reuse on an explicit compile pipeline.
+func ReuseWith(c *compile.Compiler, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "reuse",
 		Paper: "Extension: input-feature-map reuse (Fig. 1 motivation, quantified)",
@@ -147,20 +145,24 @@ func ReuseWith(s core.Searcher, a core.Array) (*Result, error) {
 		},
 		Summary: map[string]float64{},
 	}
-	for _, cl := range model.ResNet18().CoreLayers() {
-		t, err := mapLayer(s, cl, a)
+	// Compile ResNet-18 once per scheme with physical plans: the reuse
+	// numbers come straight from each layer's weight-placement plan.
+	n := model.ResNet18()
+	plans := make([]*compile.NetworkPlan, 0, 3)
+	for _, s := range []compile.Scheme{compile.Im2col, compile.SDK, compile.VWSDK} {
+		p, err := c.Compile(n, a, compile.Options{Scheme: s, Plans: true})
 		if err != nil {
 			return nil, err
 		}
+		plans = append(plans, p)
+	}
+	for i, cl := range n.Layers {
 		row := []any{cl.Name}
-		for _, m := range []core.Mapping{t.im, t.sdk, t.vw} {
-			p, err := mapping.NewPlan(m)
-			if err != nil {
-				return nil, err
-			}
-			lpe := p.InputReuse().LoadsPerElement
+		for _, p := range plans {
+			lp := p.Layers[i]
+			lpe := lp.Plan.InputReuse().LoadsPerElement
 			row = append(row, fmt.Sprintf("%.2f", lpe))
-			r.Summary[fmt.Sprintf("%s/%v/loads", cl.Name, m.Scheme)] = lpe
+			r.Summary[fmt.Sprintf("%s/%v/loads", cl.Name, lp.Search.Best.Scheme)] = lpe
 		}
 		r.Table.AddRow(row...)
 	}

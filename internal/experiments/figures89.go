@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/textplot"
@@ -10,11 +11,11 @@ import (
 
 // Fig8a reproduces Fig. 8(a): per-layer speedup over im2col of the SDK
 // baseline and VW-SDK on VGG-13 and ResNet-18 with array a (paper: 512×512).
-// It runs on the shared engine; Fig8aWith picks the searcher.
-func Fig8a(a core.Array) (*Result, error) { return Fig8aWith(DefaultSearcher(), a) }
+// It runs on the shared compiler; Fig8aWith picks the pipeline.
+func Fig8a(a core.Array) (*Result, error) { return Fig8aWith(DefaultCompiler(), a) }
 
-// Fig8aWith is Fig8a on an explicit searcher.
-func Fig8aWith(s core.Searcher, a core.Array) (*Result, error) {
+// Fig8aWith is Fig8a on an explicit compile pipeline.
+func Fig8aWith(c *compile.Compiler, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "fig8a",
 		Paper: "Fig. 8(a): per-layer speedup normalized to im2col",
@@ -25,7 +26,7 @@ func Fig8aWith(s core.Searcher, a core.Array) (*Result, error) {
 		Summary: map[string]float64{},
 	}
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
-		ts, err := mapNetwork(s, n, a)
+		ts, err := mapNetwork(c, n, a)
 		if err != nil {
 			return nil, err
 		}
@@ -60,12 +61,12 @@ func Fig8aWith(s core.Searcher, a core.Array) (*Result, error) {
 }
 
 // Fig8b reproduces Fig. 8(b): whole-network speedup over im2col for the
-// paper's five array sizes. It runs on the shared engine; Fig8bWith picks
-// the searcher.
-func Fig8b() (*Result, error) { return Fig8bWith(DefaultSearcher()) }
+// paper's five array sizes. It runs on the shared compiler; Fig8bWith
+// picks the pipeline.
+func Fig8b() (*Result, error) { return Fig8bWith(DefaultCompiler()) }
 
-// Fig8bWith is Fig8b on an explicit searcher.
-func Fig8bWith(s core.Searcher) (*Result, error) {
+// Fig8bWith is Fig8b on an explicit compile pipeline.
+func Fig8bWith(c *compile.Compiler) (*Result, error) {
 	r := &Result{
 		ID:    "fig8b",
 		Paper: "Fig. 8(b): total speedup across PIM array sizes",
@@ -80,7 +81,7 @@ func Fig8bWith(s core.Searcher) (*Result, error) {
 		sdkS := textplot.Series{Name: "SDK"}
 		vwS := textplot.Series{Name: "VW-SDK"}
 		for _, a := range PaperArrays {
-			ts, err := mapNetwork(s, n, a)
+			ts, err := mapNetwork(c, n, a)
 			if err != nil {
 				return nil, err
 			}
@@ -104,11 +105,11 @@ func Fig8bWith(s core.Searcher) (*Result, error) {
 
 // Fig9a reproduces Fig. 9(a): average array utilization (eq. 9) of im2col,
 // SDK and VW-SDK on VGG-13 layers 1–6 with array a (paper: 512×512). It
-// runs on the shared engine; Fig9aWith picks the searcher.
-func Fig9a(a core.Array) (*Result, error) { return Fig9aWith(DefaultSearcher(), a) }
+// runs on the shared compiler; Fig9aWith picks the pipeline.
+func Fig9a(a core.Array) (*Result, error) { return Fig9aWith(DefaultCompiler(), a) }
 
-// Fig9aWith is Fig9a on an explicit searcher.
-func Fig9aWith(s core.Searcher, a core.Array) (*Result, error) {
+// Fig9aWith is Fig9a on an explicit compile pipeline.
+func Fig9aWith(c *compile.Compiler, a core.Array) (*Result, error) {
 	r := &Result{
 		ID:    "fig9a",
 		Paper: "Fig. 9(a): utilization in VGG-13 conv layers 1-6",
@@ -129,7 +130,7 @@ func Fig9aWith(s core.Searcher, a core.Array) (*Result, error) {
 	sdkS := textplot.Series{Name: "SDK"}
 	vwS := textplot.Series{Name: "VW-SDK"}
 	for i, cl := range layers {
-		t, err := mapLayer(s, cl.Layer, a)
+		t, err := mapLayer(c, cl.Layer, a)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +145,7 @@ func Fig9aWith(s core.Searcher, a core.Array) (*Result, error) {
 		r.Summary[fmt.Sprintf("layer%d/vw-util", i+1)] = uVW
 		r.Summary[fmt.Sprintf("layer%d/im2col-util", i+1)] = uIm
 	}
-	t5, err := mapLayer(s, layers[4].Layer, a)
+	t5, err := mapLayer(c, layers[4].Layer, a)
 	if err != nil {
 		return nil, err
 	}
@@ -156,11 +157,11 @@ func Fig9aWith(s core.Searcher, a core.Array) (*Result, error) {
 }
 
 // Fig9b reproduces Fig. 9(b): utilization of VGG-13 layers 4 and 5 across
-// array sizes. It runs on the shared engine; Fig9bWith picks the searcher.
-func Fig9b() (*Result, error) { return Fig9bWith(DefaultSearcher()) }
+// array sizes. It runs on the shared compiler; Fig9bWith picks the pipeline.
+func Fig9b() (*Result, error) { return Fig9bWith(DefaultCompiler()) }
 
-// Fig9bWith is Fig9b on an explicit searcher.
-func Fig9bWith(s core.Searcher) (*Result, error) {
+// Fig9bWith is Fig9b on an explicit compile pipeline.
+func Fig9bWith(c *compile.Compiler) (*Result, error) {
 	arrays := []core.Array{
 		{Rows: 128, Cols: 128},
 		{Rows: 256, Cols: 256},
@@ -184,7 +185,7 @@ func Fig9bWith(s core.Searcher) (*Result, error) {
 		sdkS := textplot.Series{Name: "SDK"}
 		vwS := textplot.Series{Name: "VW-SDK"}
 		for _, a := range arrays {
-			t, err := mapLayer(s, cl.Layer, a)
+			t, err := mapLayer(c, cl.Layer, a)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,164 @@
+package model
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// The JSON network spec format lets arbitrary user CNNs — not just the
+// predefined zoo — be compiled. A spec is an object with a "name" and a
+// "layers" array; each layer gives the IFM size, kernel, channel counts and
+// optionally stride, padding and an occurrence count:
+//
+//	{
+//	  "name": "TinyNet",
+//	  "layers": [
+//	    {"name": "conv1", "iw": 32, "ih": 32, "kw": 3, "kh": 3,
+//	     "ic": 3, "oc": 16, "stride": 1, "pad": 1},
+//	    {"name": "conv2", "iw": 16, "ih": 16, "kw": 3, "kh": 3,
+//	     "ic": 16, "oc": 32, "count": 2}
+//	  ]
+//	}
+//
+// "stride" and "pad" set both axes at once; "stride_w"/"stride_h" and
+// "pad_w"/"pad_h" set them individually and win over the shorthand. Omitted
+// stride defaults to 1, omitted padding to 0, omitted count to 1. Unknown
+// fields are rejected so typos fail loudly.
+
+// jsonNetwork is the on-disk network spec.
+type jsonNetwork struct {
+	Name   string      `json:"name"`
+	Layers []jsonLayer `json:"layers"`
+}
+
+// jsonLayer is one layer entry of the spec. The per-axis fields are
+// pointers so an explicit 0 (e.g. "pad_h": 0 overriding "pad": 1) is
+// distinguishable from an omitted field.
+type jsonLayer struct {
+	Name    string `json:"name"`
+	IW      int    `json:"iw"`
+	IH      int    `json:"ih"`
+	KW      int    `json:"kw"`
+	KH      int    `json:"kh"`
+	IC      int    `json:"ic"`
+	OC      int    `json:"oc"`
+	Stride  int    `json:"stride,omitempty"`
+	StrideW *int   `json:"stride_w,omitempty"`
+	StrideH *int   `json:"stride_h,omitempty"`
+	Pad     int    `json:"pad,omitempty"`
+	PadW    *int   `json:"pad_w,omitempty"`
+	PadH    *int   `json:"pad_h,omitempty"`
+	Count   int    `json:"count,omitempty"`
+}
+
+// axis returns the per-axis override when present, the shorthand otherwise.
+func axis(override *int, shorthand int) int {
+	if override != nil {
+		return *override
+	}
+	return shorthand
+}
+
+// FromJSON parses a network spec (see the format above) and validates it.
+func FromJSON(data []byte) (Network, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec jsonNetwork
+	if err := dec.Decode(&spec); err != nil {
+		return Network{}, fmt.Errorf("model: parse network spec: %w", err)
+	}
+	n := Network{Name: spec.Name}
+	for _, jl := range spec.Layers {
+		sw := axis(jl.StrideW, jl.Stride)
+		sh := axis(jl.StrideH, jl.Stride)
+		pw := axis(jl.PadW, jl.Pad)
+		ph := axis(jl.PadH, jl.Pad)
+		count := jl.Count
+		if count == 0 {
+			count = 1
+		}
+		n.Layers = append(n.Layers, ConvLayer{
+			Layer: core.Layer{
+				Name: jl.Name,
+				IW:   jl.IW, IH: jl.IH,
+				KW: jl.KW, KH: jl.KH,
+				IC: jl.IC, OC: jl.OC,
+				StrideW: sw, StrideH: sh,
+				PadW: pw, PadH: ph,
+			},
+			Count: count,
+		})
+	}
+	if err := n.Validate(); err != nil {
+		return Network{}, err
+	}
+	return n, nil
+}
+
+// FromJSONFile reads and parses a network spec file.
+func FromJSONFile(path string) (Network, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Network{}, fmt.Errorf("model: read network spec: %w", err)
+	}
+	n, err := FromJSON(data)
+	if err != nil {
+		return Network{}, fmt.Errorf("model: %s: %w", path, err)
+	}
+	return n, nil
+}
+
+// ToJSON serializes a network as a spec FromJSON accepts, writing the
+// symmetric "stride"/"pad" shorthands when both axes agree.
+func ToJSON(n Network) ([]byte, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	spec := jsonNetwork{Name: n.Name}
+	for _, cl := range n.Layers {
+		l := cl.Layer.Normalized()
+		jl := jsonLayer{
+			Name: l.Name,
+			IW:   l.IW, IH: l.IH,
+			KW: l.KW, KH: l.KH,
+			IC: l.IC, OC: l.OC,
+		}
+		if l.StrideW == l.StrideH {
+			if l.StrideW != 1 {
+				jl.Stride = l.StrideW
+			}
+		} else {
+			sw, sh := l.StrideW, l.StrideH
+			jl.StrideW, jl.StrideH = &sw, &sh
+		}
+		if l.PadW == l.PadH {
+			jl.Pad = l.PadW
+		} else {
+			pw, ph := l.PadW, l.PadH
+			jl.PadW, jl.PadH = &pw, &ph
+		}
+		if cl.Count != 1 {
+			jl.Count = cl.Count
+		}
+		spec.Layers = append(spec.Layers, jl)
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("model: marshal network spec: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Single wraps one layer as a one-layer network (count 1), the form the
+// compile pipeline consumes.
+func Single(l core.Layer) Network {
+	name := l.Name
+	if name == "" {
+		name = "layer"
+	}
+	return Network{Name: name, Layers: []ConvLayer{{Layer: l, Count: 1}}}
+}

@@ -1,0 +1,150 @@
+package model
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFromJSONSpec(t *testing.T) {
+	spec := `{
+	  "name": "TinyNet",
+	  "layers": [
+	    {"name": "conv1", "iw": 32, "ih": 32, "kw": 3, "kh": 3,
+	     "ic": 3, "oc": 16, "stride": 1, "pad": 1},
+	    {"name": "conv2", "iw": 16, "ih": 16, "kw": 3, "kh": 3,
+	     "ic": 16, "oc": 32, "count": 2},
+	    {"name": "conv3", "iw": 8, "ih": 8, "kw": 5, "kh": 3,
+	     "ic": 32, "oc": 64, "stride_w": 2, "stride_h": 1, "pad_w": 2}
+	  ]
+	}`
+	n, err := FromJSON([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "TinyNet" || len(n.Layers) != 3 {
+		t.Fatalf("parsed %q with %d layers", n.Name, len(n.Layers))
+	}
+	c1 := n.Layers[0]
+	if c1.Layer.PadW != 1 || c1.Layer.PadH != 1 || c1.Layer.StrideW != 1 || c1.Count != 1 {
+		t.Errorf("conv1 shorthand not applied: %+v", c1)
+	}
+	if n.Layers[1].Count != 2 {
+		t.Errorf("conv2 count = %d, want 2", n.Layers[1].Count)
+	}
+	c3 := n.Layers[2].Layer
+	if c3.StrideW != 2 || c3.StrideH != 1 || c3.PadW != 2 || c3.PadH != 0 || c3.KW != 5 {
+		t.Errorf("conv3 per-axis fields not applied: %+v", c3)
+	}
+}
+
+// TestFromJSONExplicitZeroOverridesShorthand pins that a per-axis 0 beats
+// the symmetric shorthand (an omitted field falls back to it).
+func TestFromJSONExplicitZeroOverridesShorthand(t *testing.T) {
+	spec := `{"name": "x", "layers": [
+	  {"name": "c", "iw": 16, "ih": 16, "kw": 3, "kh": 3, "ic": 1, "oc": 1,
+	   "pad": 1, "pad_h": 0, "stride": 2, "stride_h": 1}
+	]}`
+	n, err := FromJSON([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := n.Layers[0].Layer
+	if l.PadW != 1 || l.PadH != 0 {
+		t.Errorf("pad = %dx%d, want 1x0 (explicit pad_h: 0 must win)", l.PadW, l.PadH)
+	}
+	if l.StrideW != 2 || l.StrideH != 1 {
+		t.Errorf("stride = %dx%d, want 2x1", l.StrideW, l.StrideH)
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"malformed":     `{"name": "x", "layers": [`,
+		"unknown field": `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1, "bogus": 1}]}`,
+		"no layers":     `{"name": "x", "layers": []}`,
+		"invalid layer": `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 9, "kh": 9, "ic": 1, "oc": 1}]}`,
+		"bad count":     `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1, "count": -1}]}`,
+	}
+	for name, spec := range cases {
+		if _, err := FromJSON([]byte(spec)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestToJSONRoundTripsZoo checks every predefined network survives
+// ToJSON → FromJSON with identical (normalized) geometry.
+func TestToJSONRoundTripsZoo(t *testing.T) {
+	for _, n := range All() {
+		data, err := ToJSON(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", n.Name, err, data)
+		}
+		if back.Name != n.Name || len(back.Layers) != len(n.Layers) {
+			t.Fatalf("%s: round trip lost structure", n.Name)
+		}
+		for i := range n.Layers {
+			want := n.Layers[i].Layer.Normalized()
+			got := back.Layers[i].Layer.Normalized()
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: %+v != %+v", n.Name, want.Name, got, want)
+			}
+			if back.Layers[i].Count != n.Layers[i].Count {
+				t.Errorf("%s/%s: count %d != %d", n.Name, want.Name,
+					back.Layers[i].Count, n.Layers[i].Count)
+			}
+		}
+	}
+}
+
+func TestFromJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	data, err := ToJSON(VGG13())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := FromJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "VGG-13" || len(n.Layers) != 10 {
+		t.Errorf("loaded %q with %d layers", n.Name, len(n.Layers))
+	}
+	if _, err := FromJSONFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromJSONFile(bad); err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("parse error should name the file, got %v", err)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	l := core.Layer{Name: "conv", IW: 8, IH: 8, KW: 3, KH: 3, IC: 2, OC: 2}
+	n := Single(l)
+	if n.Name != "conv" || len(n.Layers) != 1 || n.Layers[0].Count != 1 {
+		t.Fatalf("Single = %+v", n)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Single(core.Layer{IW: 8, IH: 8, KW: 3, KH: 3, IC: 1, OC: 1}).Name != "layer" {
+		t.Error("unnamed layer should default the network name")
+	}
+}

@@ -28,6 +28,7 @@
 package vwsdk
 
 import (
+	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/engine"
@@ -285,3 +286,63 @@ func SearchNetworkParallel(layers []Layer, a Array, opts ...EngineOption) (Netwo
 // ExplainSearch renders a step-by-step, equation-referenced derivation of a
 // search result (see Mapping.Explain via core).
 func ExplainSearch(r SearchResult) string { return core.ExplainSearch(r) }
+
+// Compiler is the whole-network compilation pipeline: searches, chip
+// scheduling, energy estimation and physical planning in one call. See
+// compile.Compiler.
+type Compiler = compile.Compiler
+
+// CompileOptions selects the mapping scheme, ablation variant, chip size,
+// energy model and whether physical plans are built. The zero value compiles
+// the full VW-SDK search for a single-array chip.
+type CompileOptions = compile.Options
+
+// CompileScheme selects the mapping search a compilation runs; the zero
+// value is the paper's VW-SDK search.
+type CompileScheme = compile.Scheme
+
+// The four mapping searches a Compiler can run.
+const (
+	CompileVWSDK  = compile.VWSDK
+	CompileIm2col = compile.Im2col
+	CompileSMD    = compile.SMD
+	CompileSDK    = compile.SDK
+)
+
+// NetworkPlan is a compiled network: per-layer mapping decisions, chip
+// schedules, energy reports and whole-network totals. See
+// compile.NetworkPlan.
+type NetworkPlan = compile.NetworkPlan
+
+// LayerPlan is one layer of a compiled network.
+type LayerPlan = compile.LayerPlan
+
+// PlanTotals are a NetworkPlan's whole-network aggregates.
+type PlanTotals = compile.Totals
+
+// NewCompiler returns a Compiler running its searches through s; a nil s
+// selects a fresh concurrent engine. Share one Compiler across compilations
+// to reuse its search cache.
+func NewCompiler(s Searcher) *Compiler { return compile.New(s) }
+
+// Compile compiles network n for array a under opts through a fresh
+// concurrent engine. Callers compiling several networks, arrays or option
+// sets should build one NewCompiler and reuse it.
+func Compile(n Network, a Array, opts CompileOptions) (*NetworkPlan, error) {
+	return compile.New(nil).Compile(n, a, opts)
+}
+
+// NetworkPlanFromJSON deserializes a plan produced by NetworkPlan.ToJSON and
+// validates that its totals are consistent with its per-layer entries.
+func NetworkPlanFromJSON(data []byte) (*NetworkPlan, error) { return compile.FromJSON(data) }
+
+// NetworkFromJSON parses a JSON network spec (the -network file format of
+// cmd/vwsdk; see the README), so arbitrary user CNNs can be compiled.
+func NetworkFromJSON(data []byte) (Network, error) { return model.FromJSON(data) }
+
+// NetworkToJSON serializes a network as a spec NetworkFromJSON accepts.
+func NetworkToJSON(n Network) ([]byte, error) { return model.ToJSON(n) }
+
+// SingleLayerNetwork wraps one layer as a one-layer network, the form the
+// compile pipeline consumes.
+func SingleLayerNetwork(l Layer) Network { return model.Single(l) }

@@ -331,3 +331,64 @@ func TestFacadeEngine(t *testing.T) {
 		t.Error("SerialSearcher returned nil")
 	}
 }
+
+// TestFacadeCompile exercises the whole-network compilation exports: a
+// one-call Compile, a shared Compiler, the scheme selector and the JSON
+// surfaces for both network specs and compiled plans.
+func TestFacadeCompile(t *testing.T) {
+	plan, err := Compile(ResNet18(), PaperArray, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Totals.Cycles != 4294 {
+		t.Errorf("compiled total = %d, want 4294 (paper Table I)", plan.Totals.Cycles)
+	}
+	if s := plan.Totals.Speedup; s < 4.66 || s > 4.68 {
+		t.Errorf("speedup = %v, want 4.67", s)
+	}
+	if plan.Totals.Energy.EnergyTotal <= 0 || plan.Totals.Makespan != plan.Totals.Cycles {
+		t.Errorf("totals incomplete: %+v", plan.Totals)
+	}
+
+	comp := NewCompiler(NewEngine(WithWorkers(2)))
+	sdk, err := comp.Compile(ResNet18(), PaperArray, CompileOptions{Scheme: CompileSDK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdk.Totals.Cycles != 7240 {
+		t.Errorf("SDK total = %d, want 7240 (paper Table I)", sdk.Totals.Cycles)
+	}
+
+	data, err := plan.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NetworkPlanFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Totals != plan.Totals {
+		t.Errorf("plan JSON round trip changed totals")
+	}
+
+	spec, err := NetworkToJSON(ResNet18())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NetworkFromJSON(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "ResNet-18" || len(n.Layers) != 5 {
+		t.Errorf("network spec round trip: %q/%d layers", n.Name, len(n.Layers))
+	}
+
+	single := SingleLayerNetwork(Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64})
+	lp, err := comp.CompileLayer(single.Layers[0].Layer, PaperArray, CompileOptions{Plans: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Plan == nil || lp.Search.Best.Cycles <= 0 {
+		t.Errorf("layer compile incomplete: %+v", lp.Search.Best)
+	}
+}
