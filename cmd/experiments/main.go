@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/compile"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -38,8 +39,13 @@ func run(args []string, out io.Writer) error {
 	only := fs.String("only", "", fmt.Sprintf("comma-separated experiment ids to run (default all; have %v)",
 		strings.Join(experiments.IDs(), ",")))
 	workers := fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS)")
+	version := fs.Bool("version", false, "print the version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintf(out, "experiments %s\n", cliutil.Version())
+		return nil
 	}
 
 	var ids []string

@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Uint64("seed", 1, "seed for the deterministic input/weight fill")
 		quant   = fs.Int("quant", 0, "weight quantization bits (0 = ideal cells)")
 		noise   = fs.Float64("noise", 0, "ADC read-noise sigma (0 = ideal readout)")
+		version = fs.Bool("version", false, "print the version and exit")
 		lf      cliutil.LayerFlags
 	)
 	fs.StringVar(&lf.IFM, "ifm", "14x14", "input feature map size WxH")
@@ -67,6 +68,10 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&lf.Pad, "pad", 0, "zero padding")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintf(out, "pimsim %s\n", cliutil.Version())
+		return nil
 	}
 	a, err := cliutil.ParseArray(*arraySp)
 	if err != nil {

@@ -49,3 +49,15 @@ func TestRunBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunVersion checks -version prints the tool name and exits cleanly
+// without running anything else.
+func TestRunVersion(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "pimsim ") {
+		t.Errorf("version output %q", out.String())
+	}
+}

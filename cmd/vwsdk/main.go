@@ -59,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		workers = fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		stats   = fs.Bool("stats", false, "print engine statistics (cache hits/misses, in-flight dedupes)")
+		version = fs.Bool("version", false, "print the version and exit")
 		lf      cliutil.LayerFlags
 	)
 	fs.StringVar(&lf.IFM, "ifm", "14x14", "input feature map size WxH")
@@ -69,6 +70,10 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&lf.Pad, "pad", 0, "zero padding")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintf(out, "vwsdk %s\n", cliutil.Version())
+		return nil
 	}
 	a, err := cliutil.ParseArray(*arraySp)
 	if err != nil {
@@ -150,8 +155,8 @@ func run(args []string, out io.Writer) error {
 			return
 		}
 		st := eng.Stats()
-		fmt.Fprintf(out, "\nengine: %d searches, %d cache hits (%d in-flight dedupes), %d misses, %d cached results\n",
-			st.Searches, st.CacheHits, st.FlightDedupes, st.CacheMisses, st.CachedResults)
+		fmt.Fprintf(out, "\nengine: %d searches, %d cache hits (%d in-flight dedupes), %d misses, %d cached results, %d evictions\n",
+			st.Searches, st.CacheHits, st.FlightDedupes, st.CacheMisses, st.CachedResults, st.Evictions)
 	}
 	if *csv {
 		fmt.Fprint(out, table.CSV())

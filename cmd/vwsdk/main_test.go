@@ -116,7 +116,7 @@ func TestRunStats(t *testing.T) {
 		}
 		got := out.String()
 		if !strings.Contains(got, "engine:") || !strings.Contains(got, "cache hits") ||
-			!strings.Contains(got, "in-flight dedupes") {
+			!strings.Contains(got, "in-flight dedupes") || !strings.Contains(got, "evictions") {
 			t.Errorf("args %v: missing stats line:\n%s", args, got)
 		}
 	}
@@ -136,5 +136,17 @@ func TestRunBadFlags(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunVersion checks -version prints the tool name and exits cleanly
+// without running anything else.
+func TestRunVersion(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "vwsdk ") {
+		t.Errorf("version output %q", out.String())
 	}
 }

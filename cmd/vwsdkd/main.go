@@ -1,0 +1,117 @@
+// Command vwsdkd serves the compile pipeline over HTTP: a long-lived
+// daemon that keeps one search engine's cache warm across requests and
+// coalesces identical concurrent compilations (see internal/server for the
+// API). It shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests before exiting.
+//
+// Examples:
+//
+//	vwsdkd -addr :8080
+//	vwsdkd -addr 127.0.0.1:0 -workers 4 -plan-cache 256 -quiet
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/compile \
+//	  -d '{"network": "VGG-13", "array": "512x512"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vwsdkd:", err)
+		os.Exit(1)
+	}
+}
+
+// shutdownTimeout bounds the graceful drain after a termination signal.
+const shutdownTimeout = 10 * time.Second
+
+// run serves until ctx is cancelled (signal or test), then drains. The
+// "listening on" line goes to out first, so callers binding port 0 can
+// discover the address.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vwsdkd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers   = fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS)")
+		cacheSize = fs.Int("cache", -1, "engine result-cache capacity in entries (0 disables, <0 default 4096)")
+		planCache = fs.Int("plan-cache", 0, "plan-cache capacity in plans (0 default 128, <0 disables)")
+		inflight  = fs.Int("max-inflight", 0, "max concurrently running compilations (0 = GOMAXPROCS)")
+		maxQueue  = fs.Int("max-queue", 0, "max compilations waiting for a slot (0 default 64, <0 rejects immediately)")
+		maxBody   = fs.Int64("max-body", 0, "request body limit in bytes (0 default 1 MiB)")
+		quiet     = fs.Bool("quiet", false, "disable the per-request access log")
+		version   = fs.Bool("version", false, "print the version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintf(out, "vwsdkd %s\n", cliutil.Version())
+		return nil
+	}
+
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(out, "vwsdkd: ", log.LstdFlags)
+	}
+	srv := server.New(server.Config{
+		Engine:        engine.New(engine.WithWorkers(*workers), engine.WithCacheSize(*cacheSize)),
+		PlanCacheSize: *planCache,
+		MaxConcurrent: *inflight,
+		MaxQueue:      *maxQueue,
+		MaxBodyBytes:  *maxBody,
+		Logger:        logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "vwsdkd: listening on %s\n", ln.Addr())
+
+	// No blanket ReadTimeout/WriteTimeout: sweep streams are legitimately
+	// long-lived. Header and idle timeouts are what keep slow or abandoned
+	// connections from pinning goroutines and file descriptors.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "vwsdkd: shutting down (draining for up to %s)\n", shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

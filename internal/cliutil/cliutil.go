@@ -4,11 +4,44 @@ package cliutil
 
 import (
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 )
+
+// Version returns the version string the cmd/ tools print for -version: the
+// module version when the binary was built from a tagged module, otherwise
+// the VCS revision ("devel+<rev>[+dirty]") when the build embedded one, and
+// "devel" as the last resort (e.g. under go test).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return "devel+" + rev + dirty
+}
 
 // ParseSize parses "WxH" (e.g. "512x256") or a single integer "512"
 // (meaning a square) into width and height.

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -75,5 +76,21 @@ func TestLayerFlags(t *testing.T) {
 	bad = LayerFlags{IFM: "8x8", Kernel: "3x3", IC: 0, OC: 1}
 	if _, err := bad.Layer("b"); err == nil {
 		t.Error("zero IC accepted")
+	}
+}
+
+// TestVersion checks the -version string is non-empty and stable across
+// calls; under go test there is no tagged module version, so it must fall
+// back to a "devel" form rather than the empty string.
+func TestVersion(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("empty version")
+	}
+	if !strings.HasPrefix(v, "devel") && strings.TrimSpace(v) == "" {
+		t.Errorf("unexpected version %q", v)
+	}
+	if again := Version(); again != v {
+		t.Errorf("version not stable: %q then %q", v, again)
 	}
 }

@@ -1,0 +1,92 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/model"
+)
+
+// TestKeyCanonicalizes pins the cache-key equivalences a serving layer
+// relies on: default-equivalent options collide, spec shorthands collapse,
+// and every dimension that changes the plan separates keys.
+func TestKeyCanonicalizes(t *testing.T) {
+	n := model.VGG13()
+	base, err := Key(n, array512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicitly spelling out the defaults must not change the key.
+	m := energy.Default()
+	same, err := Key(n, array512, Options{Scheme: VWSDK, Variant: core.VariantFull, Arrays: 1, Energy: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != base {
+		t.Errorf("defaulted options key differs:\n%s\n%s", same, base)
+	}
+
+	// The canonical spec round trip (which drops stride/pad shorthands and
+	// re-derives defaults) must collide with the original network.
+	data, err := model.ToJSON(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := model.FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTripped, err := Key(back, array512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roundTripped != base {
+		t.Errorf("round-tripped network key differs")
+	}
+
+	// Every option dimension must separate keys.
+	for name, opts := range map[string]Options{
+		"scheme":  {Scheme: SDK},
+		"variant": {Variant: core.VariantSquareTiled},
+		"arrays":  {Arrays: 8},
+		"gated":   {GatePeripherals: true},
+		"plans":   {Plans: true},
+	} {
+		k, err := Key(n, array512, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == base {
+			t.Errorf("%s: key did not change", name)
+		}
+	}
+	other, err := Key(model.ResNet18(), array512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == base {
+		t.Error("different networks share a key")
+	}
+	smaller, err := Key(n, core.Array{Rows: 256, Cols: 256}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smaller == base {
+		t.Error("different arrays share a key")
+	}
+}
+
+// TestKeyRejectsInvalid pins that Key fails on the same inputs Compile
+// rejects instead of minting keys for uncompilable requests.
+func TestKeyRejectsInvalid(t *testing.T) {
+	if _, err := Key(model.Network{Name: "empty"}, array512, Options{}); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := Key(model.VGG13(), core.Array{}, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "array") {
+		t.Errorf("zero array accepted or unclear error: %v", err)
+	}
+}

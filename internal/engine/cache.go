@@ -3,6 +3,7 @@ package engine
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -46,6 +47,8 @@ type resultCache struct {
 	cap   int
 	order *list.List // front = most recently used; values are *cacheEntry
 	items map[cacheKey]*list.Element
+
+	evictions atomic.Uint64 // results dropped to respect cap
 }
 
 type cacheEntry struct {
@@ -94,7 +97,17 @@ func (c *resultCache) put(k cacheKey, res core.Result) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
+}
+
+// evicted reports how many results have been dropped to respect the
+// capacity.
+func (c *resultCache) evicted() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
 }
 
 // len reports the number of cached results (for tests and stats).

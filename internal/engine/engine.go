@@ -111,6 +111,10 @@ type Stats struct {
 	// time; successful joins are also CacheHits).
 	FlightDedupes uint64
 
+	// Evictions counts results dropped from the LRU cache to respect its
+	// capacity.
+	Evictions uint64
+
 	// CachedResults is the current number of cached results.
 	CachedResults int
 }
@@ -122,6 +126,7 @@ func (e *Engine) Stats() Stats {
 		CacheHits:     e.hits.Load(),
 		CacheMisses:   e.misses.Load(),
 		FlightDedupes: e.dedupes.Load(),
+		Evictions:     e.cache.evicted(),
 		CachedResults: e.cache.len(),
 	}
 }

@@ -325,6 +325,14 @@ func TestCacheLRUEviction(t *testing.T) {
 	if st.CachedResults != 1 {
 		t.Errorf("cached results = %d, want 1", st.CachedResults)
 	}
+	// Each insertion beyond the capacity-1 cache evicts the previous
+	// result: l2 evicts l1, then l1's recompute evicts l2.
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st := New(WithCacheSize(0)).Stats(); st.Evictions != 0 {
+		t.Errorf("disabled cache evictions = %d, want 0", st.Evictions)
+	}
 }
 
 // TestSweep compares every cell of a batch sweep against serial

@@ -64,6 +64,9 @@ func axis(override *int, shorthand int) int {
 }
 
 // FromJSON parses a network spec (see the format above) and validates it.
+// Beyond the per-layer geometry checks, the spec itself must be well formed:
+// at least one layer, no duplicate (non-empty) layer names, and no negative
+// occurrence counts.
 func FromJSON(data []byte) (Network, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
@@ -71,8 +74,19 @@ func FromJSON(data []byte) (Network, error) {
 	if err := dec.Decode(&spec); err != nil {
 		return Network{}, fmt.Errorf("model: parse network spec: %w", err)
 	}
+	if len(spec.Layers) == 0 {
+		return Network{}, fmt.Errorf("model: network spec %q has no layers", spec.Name)
+	}
+	seen := make(map[string]bool, len(spec.Layers))
 	n := Network{Name: spec.Name}
 	for _, jl := range spec.Layers {
+		if jl.Name != "" && seen[jl.Name] {
+			return Network{}, fmt.Errorf("model: network spec %q: duplicate layer name %q", spec.Name, jl.Name)
+		}
+		seen[jl.Name] = true
+		if jl.Count < 0 {
+			return Network{}, fmt.Errorf("model: network spec %q: layer %q: negative count %d", spec.Name, jl.Name, jl.Count)
+		}
 		sw := axis(jl.StrideW, jl.Stride)
 		sh := axis(jl.StrideH, jl.Stride)
 		pw := axis(jl.PadW, jl.Pad)
@@ -151,6 +165,28 @@ func ToJSON(n Network) ([]byte, error) {
 		return nil, fmt.Errorf("model: marshal network spec: %w", err)
 	}
 	return append(data, '\n'), nil
+}
+
+// ResolveSpec resolves a network reference as it appears in an API request:
+// a JSON string names a predefined zoo network ("VGG-13"), a JSON object is
+// an inline spec in the FromJSON format. Anything else is an error.
+func ResolveSpec(raw []byte) (Network, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return Network{}, fmt.Errorf("model: empty network reference")
+	}
+	switch trimmed[0] {
+	case '"':
+		var name string
+		if err := json.Unmarshal(trimmed, &name); err != nil {
+			return Network{}, fmt.Errorf("model: parse network name: %w", err)
+		}
+		return ByName(name)
+	case '{':
+		return FromJSON(trimmed)
+	default:
+		return Network{}, fmt.Errorf("model: network reference must be a zoo name string or an inline spec object")
+	}
 }
 
 // Single wraps one layer as a one-layer network (count 1), the form the

@@ -63,16 +63,67 @@ func TestFromJSONExplicitZeroOverridesShorthand(t *testing.T) {
 }
 
 func TestFromJSONErrors(t *testing.T) {
-	cases := map[string]string{
-		"malformed":     `{"name": "x", "layers": [`,
-		"unknown field": `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1, "bogus": 1}]}`,
-		"no layers":     `{"name": "x", "layers": []}`,
-		"invalid layer": `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 9, "kh": 9, "ic": 1, "oc": 1}]}`,
-		"bad count":     `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1, "count": -1}]}`,
+	// Each rejected spec must fail with an error naming the actual problem,
+	// so API clients see "duplicate layer name" rather than a generic
+	// validation failure.
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string
+	}{
+		{"malformed", `{"name": "x", "layers": [`, "parse network spec"},
+		{"unknown field", `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1, "bogus": 1}]}`, "bogus"},
+		{"layers omitted", `{"name": "x"}`, "no layers"},
+		{"layers empty", `{"name": "x", "layers": []}`, "no layers"},
+		{"invalid layer", `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 9, "kh": 9, "ic": 1, "oc": 1}]}`, "kernel"},
+		{"negative count", `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1, "count": -1}]}`, "negative count -1"},
+		{"duplicate name", `{"name": "x", "layers": [
+			{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1},
+			{"name": "c", "iw": 16, "ih": 16, "kw": 3, "kh": 3, "ic": 1, "oc": 1}]}`, `duplicate layer name "c"`},
 	}
-	for name, spec := range cases {
-		if _, err := FromJSON([]byte(spec)); err == nil {
-			t.Errorf("%s: accepted", name)
+	for _, tc := range cases {
+		_, err := FromJSON([]byte(tc.spec))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+
+	// Two anonymous layers are not a duplicate: only non-empty names must be
+	// unique.
+	anon := `{"name": "x", "layers": [
+	  {"iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1},
+	  {"iw": 16, "ih": 16, "kw": 3, "kh": 3, "ic": 1, "oc": 1}]}`
+	if _, err := FromJSON([]byte(anon)); err != nil {
+		t.Errorf("anonymous layers rejected: %v", err)
+	}
+}
+
+// TestResolveSpec covers the API request network reference: a JSON string is
+// a zoo lookup, an object is an inline spec, anything else errors.
+func TestResolveSpec(t *testing.T) {
+	n, err := ResolveSpec([]byte(`"VGG-13"`))
+	if err != nil || n.Name != "VGG-13" {
+		t.Fatalf("zoo name: %v %q", err, n.Name)
+	}
+	n, err = ResolveSpec([]byte(` {"name": "t", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1}]}`))
+	if err != nil || n.Name != "t" {
+		t.Fatalf("inline spec: %v %q", err, n.Name)
+	}
+	for name, raw := range map[string]string{
+		"empty":        ``,
+		"blank":        `   `,
+		"number":       `42`,
+		"array":        `["VGG-13"]`,
+		"unknown zoo":  `"LeNet-5"`,
+		"bad name str": `"unterminated`,
+		"invalid spec": `{"name": "t", "layers": []}`,
+	} {
+		if _, err := ResolveSpec([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted %q", name, raw)
 		}
 	}
 }

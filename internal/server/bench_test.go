@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+const benchRequest = `{"network": "VGG-13", "array": "512x512"}`
+
+func benchPost(b *testing.B, client *http.Client, url string) {
+	b.Helper()
+	resp, err := client.Post(url+"/v1/compile", "application/json", strings.NewReader(benchRequest))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServerCompile measures /v1/compile latency over real HTTP with
+// parallel clients. "cold" disables both the plan cache and the engine's
+// result cache, so every request pays the full VGG-13 search; "warm" is the
+// default configuration primed by one request, so every request is a
+// plan-cache byte hit — the amortization a long-lived daemon exists for.
+func BenchmarkServerCompile(b *testing.B) {
+	run := func(b *testing.B, cfg Config) {
+		ts := httptest.NewServer(New(cfg))
+		defer ts.Close()
+		benchPost(b, ts.Client(), ts.URL) // prime (a no-op when caching is off)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchPost(b, ts.Client(), ts.URL)
+			}
+		})
+	}
+	b.Run("cold", func(b *testing.B) {
+		run(b, Config{
+			Engine:        engine.New(engine.WithCacheSize(0)),
+			PlanCacheSize: -1,
+		})
+	})
+	b.Run("warm", func(b *testing.B) {
+		run(b, Config{})
+	})
+}
+
+// BenchmarkSweepStream measures a warm 1-network × 3-array sweep stream.
+func BenchmarkSweepStream(b *testing.B) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	req := `{"networks": ["ResNet-18"], "arrays": ["256x256", "512x512", "512x256"]}`
+	for b.Loop() {
+		resp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(req))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := strings.Count(strings.TrimSpace(string(data)), "\n") + 1; n != 3 {
+			b.Fatal(fmt.Errorf("got %d lines", n))
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/cliutil"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// compileRequest is the POST /v1/compile body:
+//
+//	{
+//	  "network": "VGG-13" | {<inline spec, the model.FromJSON format>},
+//	  "array":   "512x512" | {"rows": 512, "cols": 512},
+//	  "options": {"scheme": "vw", "variant": "full", "arrays": 1,
+//	              "gate_peripherals": false}
+//	}
+//
+// "options" and its fields are optional; the defaults compile the full
+// VW-SDK search for a single-array chip. Unknown fields anywhere are
+// rejected with 400 so typos fail loudly.
+type compileRequest struct {
+	Network json.RawMessage `json:"network"`
+	Array   json.RawMessage `json:"array"`
+	Options *requestOptions `json:"options"`
+}
+
+// requestOptions is the wire form of compile.Options. Physical plans
+// (compile.Options.Plans) are execution artifacts that do not serialize and
+// are deliberately not exposed.
+type requestOptions struct {
+	Scheme          string `json:"scheme"`
+	Variant         string `json:"variant"`
+	Arrays          int    `json:"arrays"`
+	GatePeripherals bool   `json:"gate_peripherals"`
+}
+
+// decodeJSONBody decodes one strict JSON value from the (size-limited)
+// request body into dst: unknown fields, trailing garbage and oversized
+// bodies are rejected with structured 400/413 errors.
+func decodeJSONBody(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) *httpError {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return errorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return errorf(http.StatusBadRequest, "parse request: %v", err)
+	}
+	if dec.More() {
+		return errorf(http.StatusBadRequest, "parse request: trailing data after JSON body")
+	}
+	return nil
+}
+
+// resolve turns the wire request into validated compile inputs. Malformed
+// references come back as 422: the body was syntactically valid JSON (that
+// was 400's job in decodeJSONBody) but names something that cannot be
+// compiled.
+func (req *compileRequest) resolve() (model.Network, core.Array, compile.Options, *httpError) {
+	n, herr := resolveNetworkRef(req.Network)
+	if herr != nil {
+		return model.Network{}, core.Array{}, compile.Options{}, herr
+	}
+	a, herr := resolveArrayRef(req.Array)
+	if herr != nil {
+		return model.Network{}, core.Array{}, compile.Options{}, herr
+	}
+	opts, herr := req.Options.compileOptions()
+	if herr != nil {
+		return model.Network{}, core.Array{}, compile.Options{}, herr
+	}
+	return n, a, opts, nil
+}
+
+// resolveNetworkRef resolves a request's network reference through
+// model.ResolveSpec: a zoo name string or an inline spec object.
+func resolveNetworkRef(raw json.RawMessage) (model.Network, *httpError) {
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return model.Network{}, errorf(http.StatusUnprocessableEntity,
+			`missing "network": give a zoo name (see /v1/networks) or an inline spec object`)
+	}
+	n, err := model.ResolveSpec(raw)
+	if err != nil {
+		return model.Network{}, errorf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	return n, nil
+}
+
+// resolveArrayRef parses an array reference: "RowsxCols" (or a square
+// "512") as a string, or {"rows", "cols"} as an object.
+func resolveArrayRef(raw json.RawMessage) (core.Array, *httpError) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return core.Array{}, errorf(http.StatusUnprocessableEntity,
+			`missing "array": give "RowsxCols" or {"rows", "cols"}`)
+	}
+	switch trimmed[0] {
+	case '"':
+		var spec string
+		if err := json.Unmarshal(trimmed, &spec); err != nil {
+			return core.Array{}, errorf(http.StatusUnprocessableEntity, "parse array: %v", err)
+		}
+		a, err := cliutil.ParseArray(spec)
+		if err != nil {
+			return core.Array{}, errorf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		return a, nil
+	case '{':
+		var obj struct {
+			Rows int `json:"rows"`
+			Cols int `json:"cols"`
+		}
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&obj); err != nil {
+			return core.Array{}, errorf(http.StatusUnprocessableEntity, "parse array: %v", err)
+		}
+		a := core.Array{Rows: obj.Rows, Cols: obj.Cols}
+		if err := a.Validate(); err != nil {
+			return core.Array{}, errorf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		return a, nil
+	default:
+		return core.Array{}, errorf(http.StatusUnprocessableEntity,
+			`array must be a "RowsxCols" string or a {"rows", "cols"} object`)
+	}
+}
+
+// compileOptions maps the wire options onto compile.Options; a nil receiver
+// (options omitted) selects the defaults.
+func (o *requestOptions) compileOptions() (compile.Options, *httpError) {
+	var opts compile.Options
+	if o == nil {
+		return opts, nil
+	}
+	switch o.Scheme {
+	case "", "vw", "vwsdk", "vw-sdk":
+		opts.Scheme = compile.VWSDK
+	case "im2col":
+		opts.Scheme = compile.Im2col
+	case "smd":
+		opts.Scheme = compile.SMD
+	case "sdk":
+		opts.Scheme = compile.SDK
+	default:
+		return opts, errorf(http.StatusUnprocessableEntity,
+			"unknown scheme %q (have vw, im2col, smd, sdk)", o.Scheme)
+	}
+	v, herr := parseVariant(o.Variant)
+	if herr != nil {
+		return opts, herr
+	}
+	opts.Variant = v
+	if o.Arrays < 0 {
+		return opts, errorf(http.StatusUnprocessableEntity, "negative arrays %d", o.Arrays)
+	}
+	opts.Arrays = o.Arrays
+	opts.GatePeripherals = o.GatePeripherals
+	return opts, nil
+}
+
+// parseVariant maps a wire variant name onto the VW-SDK ablation enum.
+func parseVariant(name string) (core.Variant, *httpError) {
+	switch name {
+	case "", "full":
+		return core.VariantFull, nil
+	case "square", "square-tiled", "square+tiled":
+		return core.VariantSquareTiled, nil
+	case "rect", "rect-full-channel", "rect+full-channels":
+		return core.VariantRectFullChannel, nil
+	default:
+		return 0, errorf(http.StatusUnprocessableEntity,
+			"unknown variant %q (have full, square-tiled, rect-full-channel)", name)
+	}
+}

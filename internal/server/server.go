@@ -1,0 +1,455 @@
+// Package server is the HTTP compile service behind cmd/vwsdkd: a
+// long-lived front end to the compile pipeline that keeps one
+// engine.Engine's search cache warm across requests, the way a
+// production mapping service would amortize VW-SDK's search over many
+// clients asking for the same networks.
+//
+// The server owns a single shared Compiler and adds, on top of the engine's
+// per-layer result cache, a whole-plan LRU cache keyed on the canonical
+// (network, array, options) tuple (compile.Key) with singleflight
+// coalescing: N identical concurrent requests run exactly one compilation
+// and share its serialized bytes. Compilations are bounded by a semaphore
+// with a configurable wait queue, and sweep streams by their own
+// same-sized semaphore; requests beyond the limits are rejected with 503
+// instead of piling up. Request bodies are size-limited and every error is
+// structured JSON ({"error": {"status", "message"}}).
+//
+// Endpoints:
+//
+//	POST /v1/compile   {network, array, options} → serialized compile.NetworkPlan
+//	POST /v1/sweep     {networks, arrays, variants, options} → NDJSON plan summaries, streamed per cell
+//	GET  /v1/networks  the predefined model zoo
+//	GET  /healthz      liveness
+//	GET  /stats        engine, plan-cache and server counters
+//
+// A *Server is an http.Handler; serve it with http.Server (cmd/vwsdkd adds
+// flags, access logging to stderr and graceful shutdown on SIGTERM).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// Config configures a Server. The zero value is usable: a fresh engine,
+// default cache and concurrency limits, and no access log.
+type Config struct {
+	// Engine is the shared search engine; nil builds a default engine.New().
+	Engine *engine.Engine
+
+	// PlanCacheSize is the whole-plan LRU capacity in entries; 0 selects the
+	// default (128), negative disables plan caching (identical concurrent
+	// requests still coalesce).
+	PlanCacheSize int
+
+	// MaxConcurrent bounds concurrently running compilations; 0 selects
+	// GOMAXPROCS.
+	MaxConcurrent int
+
+	// MaxQueue bounds compilations waiting for a slot; 0 selects the
+	// default (64), negative disables queueing (busy server rejects
+	// immediately).
+	MaxQueue int
+
+	// MaxBodyBytes limits request bodies; 0 selects the default (1 MiB).
+	MaxBodyBytes int64
+
+	// Logger receives one access-log line per request; nil disables logging.
+	Logger *log.Logger
+}
+
+const (
+	defaultPlanCacheSize = 128
+	defaultMaxQueue      = 64
+	defaultMaxBodyBytes  = 1 << 20
+)
+
+// Server is the compile service. Build one with New; it is an http.Handler
+// safe for concurrent use.
+type Server struct {
+	eng     *engine.Engine
+	comp    *compile.Compiler
+	plans   *planCache
+	logger  *log.Logger
+	maxBody int64
+	mux     *http.ServeMux
+
+	sem      chan struct{} // bounds concurrently running compilations
+	sweepSem chan struct{} // bounds concurrently running sweep streams
+	maxQueue int
+	queued   atomic.Int64
+
+	requests atomic.Uint64
+	inFlight atomic.Int64
+	rejected atomic.Uint64
+	hist     latencyHist
+}
+
+// New returns a Server with the given configuration.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		cfg.Engine = engine.New()
+	}
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = defaultPlanCacheSize
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = defaultMaxQueue
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	s := &Server{
+		eng:      cfg.Engine,
+		comp:     compile.New(cfg.Engine),
+		plans:    newPlanCache(cfg.PlanCacheSize),
+		logger:   cfg.Logger,
+		maxBody:  cfg.MaxBodyBytes,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		sweepSem: make(chan struct{}, cfg.MaxConcurrent),
+		maxQueue: cfg.MaxQueue,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Engine returns the shared search engine (for tests and stats).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// ServeHTTP dispatches to the API endpoints, wrapped in request counting,
+// latency measurement and access logging.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.requests.Add(1)
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	rw := &responseWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(rw, r)
+	d := time.Since(start)
+	s.hist.observe(d)
+	if s.logger != nil {
+		s.logger.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, rw.code(), rw.bytes, d.Round(time.Microsecond))
+	}
+}
+
+// responseWriter records the status code and body size for the access log,
+// forwarding Flush so the sweep stream still flushes per line.
+type responseWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *responseWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *responseWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *responseWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *responseWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// acquire takes one compilation slot without waiting beyond the configured
+// queue: a free slot is taken immediately, otherwise the request queues
+// until a slot frees or the client goes away, and a full queue rejects with
+// errBusy. Matching release() must follow every nil return.
+func (s *Server) acquire(r *http.Request) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.maxQueue <= 0 || s.queued.Add(1) > int64(s.maxQueue) {
+		if s.maxQueue > 0 {
+			s.queued.Add(-1)
+		}
+		s.rejected.Add(1)
+		return errBusy
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return errorf(http.StatusServiceUnavailable, "client cancelled while queued: %v", r.Context().Err())
+	}
+}
+
+// acquireBlocking takes a slot with no queue bound — used by sweep cells,
+// which belong to one already-admitted request and must not be individually
+// rejected.
+func (s *Server) acquireBlocking(r *http.Request) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// compilePlan serves one compilation through the plan cache with
+// singleflight coalescing; block selects the sweep-cell admission policy
+// (wait indefinitely) over the compile-endpoint one (bounded queue, 503).
+// The returned entry is shared and must not be mutated.
+func (s *Server) compilePlan(r *http.Request, key string, n model.Network, a core.Array, opts compile.Options, block bool) (*planEntry, bool, error) {
+	return s.plans.do(key, func() (*compile.NetworkPlan, []byte, error) {
+		var err error
+		if block {
+			err = s.acquireBlocking(r)
+		} else {
+			err = s.acquire(r)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		defer s.release()
+		p, err := s.comp.Compile(n, a, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := p.ToJSON()
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, data, nil
+	})
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	var req compileRequest
+	if herr := decodeJSONBody(w, r, s.maxBody, &req); herr != nil {
+		writeError(w, herr)
+		return
+	}
+	n, a, opts, herr := req.resolve()
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	key, err := compile.Key(n, a, opts)
+	if err != nil {
+		writeError(w, errorf(http.StatusUnprocessableEntity, "%v", err))
+		return
+	}
+	entry, cached, err := s.compilePlan(r, key, n, a, opts, false)
+	if err != nil {
+		writeError(w, toHTTPError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(entry.data)
+}
+
+// networkInfo is one /v1/networks entry.
+type networkInfo struct {
+	Name   string `json:"name"`
+	Layers int    `json:"layers"`
+	MACs   int64  `json:"macs"`
+}
+
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	infos := make([]networkInfo, 0, 4)
+	for _, n := range model.All() {
+		infos = append(infos, networkInfo{Name: n.Name, Layers: len(n.Layers), MACs: n.TotalMACs()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"networks": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"version": cliutil.Version(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats is the /stats payload: server, plan-cache and engine counters.
+type Stats struct {
+	Server    ServerStats    `json:"server"`
+	PlanCache PlanCacheStats `json:"plan_cache"`
+	Engine    EngineStats    `json:"engine"`
+}
+
+// ServerStats are the HTTP-level counters.
+type ServerStats struct {
+	// Requests counts every request received; InFlight and Queued are the
+	// current gauges; Rejected counts 503s from the full queue.
+	Requests uint64 `json:"requests"`
+	InFlight int64  `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+	Rejected uint64 `json:"rejected"`
+
+	// LatencyMs is the request-latency histogram.
+	LatencyMs Histogram `json:"latency_ms"`
+}
+
+// EngineStats mirrors engine.Stats with stable JSON names.
+type EngineStats struct {
+	Searches      uint64 `json:"searches"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	FlightDedupes uint64 `json:"flight_dedupes"`
+	Evictions     uint64 `json:"evictions"`
+	CachedResults int    `json:"cached_results"`
+}
+
+// Stats returns a snapshot of every counter the service exposes.
+func (s *Server) Stats() Stats {
+	es := s.eng.Stats()
+	return Stats{
+		Server: ServerStats{
+			Requests:  s.requests.Load(),
+			InFlight:  s.inFlight.Load(),
+			Queued:    s.queued.Load(),
+			Rejected:  s.rejected.Load(),
+			LatencyMs: s.hist.snapshot(),
+		},
+		PlanCache: s.plans.stats(),
+		Engine: EngineStats{
+			Searches:      es.Searches,
+			CacheHits:     es.CacheHits,
+			CacheMisses:   es.CacheMisses,
+			FlightDedupes: es.FlightDedupes,
+			Evictions:     es.Evictions,
+			CachedResults: es.CachedResults,
+		},
+	}
+}
+
+// latencyBoundsMs are the histogram bucket upper bounds in milliseconds;
+// requests slower than the last bound land in the overflow bucket.
+var latencyBoundsMs = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// latencyHist is a fixed-bucket latency histogram with atomic counters.
+type latencyHist struct {
+	counts [len(latencyBoundsMs) + 1]atomic.Uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	for i, bound := range latencyBoundsMs[:] {
+		if ms <= bound {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[len(latencyBoundsMs)].Add(1)
+}
+
+// Histogram is the JSON form of the latency histogram. Buckets are
+// disjoint, not cumulative: counts[i] is the number of requests with
+// latency in (upper_bounds_ms[i-1], upper_bounds_ms[i]], and the final
+// count is the overflow bucket beyond the last bound.
+type Histogram struct {
+	UpperBoundsMs []float64 `json:"upper_bounds_ms"`
+	Counts        []uint64  `json:"counts"`
+}
+
+func (h *latencyHist) snapshot() Histogram {
+	// Both slices are fresh copies: the bounds array is shared process-wide
+	// and must not be mutable through the exported Stats API.
+	out := Histogram{
+		UpperBoundsMs: append([]float64(nil), latencyBoundsMs[:]...),
+		Counts:        make([]uint64, len(h.counts)),
+	}
+	for i := range h.counts {
+		out.Counts[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// httpError is an error with an HTTP status, rendered as the structured
+// error JSON every non-2xx response carries.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errorf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+var errBusy = &httpError{
+	status: http.StatusServiceUnavailable,
+	msg:    "server at capacity: all compilation slots and queue positions are taken",
+}
+
+// toHTTPError passes httpErrors through, maps cancellation — never the
+// requester's fault when it surfaces here — to 503, and wraps everything
+// else (validation failures surfaced by the pipeline) as 422.
+func toHTTPError(err error) *httpError {
+	if herr, ok := err.(*httpError); ok {
+		return herr
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return errorf(http.StatusServiceUnavailable, "compilation cancelled: %v", err)
+	}
+	return errorf(http.StatusUnprocessableEntity, "%v", err)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, herr *httpError) {
+	writeJSON(w, herr.status, map[string]any{
+		"error": map[string]any{"status": herr.status, "message": herr.msg},
+	})
+}

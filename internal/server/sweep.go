@@ -1,0 +1,217 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// sweepRequest is the POST /v1/sweep body: the cross product of networks ×
+// arrays × variants, each element in the same form the compile endpoint
+// accepts. An empty variants list falls back to options.variant (or the
+// scheme's default search) once per (network, array); variants other than
+// "full" only make sense with the (default) vw scheme.
+type sweepRequest struct {
+	Networks []json.RawMessage `json:"networks"`
+	Arrays   []json.RawMessage `json:"arrays"`
+	Variants []string          `json:"variants"`
+	Options  *requestOptions   `json:"options"`
+}
+
+// maxSweepCells bounds one sweep request's cross product.
+const maxSweepCells = 4096
+
+// sweepCell is one resolved (network, array, variant) combination.
+type sweepCell struct {
+	network model.Network
+	array   core.Array
+	variant string
+	opts    compile.Options
+}
+
+// sweepSummary is one NDJSON line of the sweep stream: the cell identity
+// plus its plan totals, or the per-cell error. Errors are per cell so one
+// failing combination reports itself in-line instead of tearing down the
+// whole stream.
+type sweepSummary struct {
+	Network        string  `json:"network"`
+	Array          string  `json:"array"`
+	Scheme         string  `json:"scheme"`
+	Variant        string  `json:"variant,omitempty"`
+	Cycles         int64   `json:"cycles,omitempty"`
+	Im2colCycles   int64   `json:"im2col_cycles,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	UtilizationPct float64 `json:"utilization_pct,omitempty"`
+	Makespan       int64   `json:"makespan,omitempty"`
+	EnergyTotalJ   float64 `json:"energy_total_j,omitempty"`
+	Cached         bool    `json:"cached,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// cells resolves the request's cross product up front, so reference errors
+// surface as one structured 422 before the stream commits to a 200.
+func (req *sweepRequest) cells() ([]sweepCell, *httpError) {
+	if len(req.Networks) == 0 {
+		return nil, errorf(http.StatusUnprocessableEntity, `missing "networks"`)
+	}
+	if len(req.Arrays) == 0 {
+		return nil, errorf(http.StatusUnprocessableEntity, `missing "arrays"`)
+	}
+	base, herr := req.Options.compileOptions()
+	if herr != nil {
+		return nil, herr
+	}
+	// An explicit variants list wins; otherwise a single options.variant
+	// applies to every cell (it must not be silently clobbered — the same
+	// field is honored by /v1/compile), and the default is the full search.
+	variants := req.Variants
+	if len(variants) == 0 {
+		if req.Options != nil && req.Options.Variant != "" {
+			variants = []string{req.Options.Variant}
+		} else {
+			variants = []string{""}
+		}
+	}
+	networks := make([]model.Network, len(req.Networks))
+	for i, raw := range req.Networks {
+		n, herr := resolveNetworkRef(raw)
+		if herr != nil {
+			return nil, herr
+		}
+		networks[i] = n
+	}
+	arrays := make([]core.Array, len(req.Arrays))
+	for i, raw := range req.Arrays {
+		a, herr := resolveArrayRef(raw)
+		if herr != nil {
+			return nil, herr
+		}
+		arrays[i] = a
+	}
+	total := len(networks) * len(arrays) * len(variants)
+	if total > maxSweepCells {
+		return nil, errorf(http.StatusUnprocessableEntity,
+			"sweep of %d cells exceeds the %d-cell limit", total, maxSweepCells)
+	}
+	cells := make([]sweepCell, 0, total)
+	for _, n := range networks {
+		for _, a := range arrays {
+			for _, vName := range variants {
+				v, herr := parseVariant(vName)
+				if herr != nil {
+					return nil, herr
+				}
+				opts := base
+				opts.Variant = v
+				cells = append(cells, sweepCell{network: n, array: a, variant: vName, opts: opts})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// handleSweep streams one NDJSON summary per cell, in completion order.
+// Sweeps are admitted through their own semaphore (one unit per stream,
+// sized like the compilation pool; beyond it: 503), and each stream fans
+// its cells over at most one worker per compilation slot — so M sweeps park
+// O(M × MaxConcurrent) goroutines, not M × 4096, and cannot pile up
+// unboundedly behind the compile endpoint's slots. Each line is flushed as
+// soon as its compilation (or cache hit) finishes.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if herr := decodeJSONBody(w, r, s.maxBody, &req); herr != nil {
+		writeError(w, herr)
+		return
+	}
+	cells, herr := req.cells()
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	select {
+	case s.sweepSem <- struct{}{}:
+		defer func() { <-s.sweepSem }()
+	default:
+		s.rejected.Add(1)
+		writeError(w, errorf(http.StatusServiceUnavailable,
+			"server at capacity: all %d concurrent sweep streams are taken", cap(s.sweepSem)))
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	results := make(chan sweepSummary)
+	go func() {
+		workers := min(len(cells), cap(s.sem))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for range workers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cells) {
+						return
+					}
+					results <- s.runCell(r, cells[i])
+				}
+			}()
+		}
+		wg.Wait()
+		close(results)
+	}()
+
+	enc := json.NewEncoder(w)
+	broken := false // client gone: keep draining so cell goroutines can exit
+	for sum := range results {
+		if broken {
+			continue
+		}
+		if err := enc.Encode(sum); err != nil {
+			broken = true
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// runCell compiles one sweep cell through the plan cache (blocking
+// admission — the cells belong to one already-admitted request) and
+// summarizes its totals.
+func (s *Server) runCell(r *http.Request, c sweepCell) sweepSummary {
+	sum := sweepSummary{
+		Network: c.network.Name,
+		Array:   c.array.String(),
+		Scheme:  c.opts.Scheme.String(),
+		Variant: c.variant,
+	}
+	key, err := compile.Key(c.network, c.array, c.opts)
+	if err != nil {
+		sum.Error = err.Error()
+		return sum
+	}
+	entry, cached, err := s.compilePlan(r, key, c.network, c.array, c.opts, true)
+	if err != nil {
+		sum.Error = err.Error()
+		return sum
+	}
+	t := entry.plan.Totals
+	sum.Cycles = t.Cycles
+	sum.Im2colCycles = t.Im2colCycles
+	sum.Speedup = t.Speedup
+	sum.UtilizationPct = t.Utilization
+	sum.Makespan = t.Makespan
+	sum.EnergyTotalJ = t.Energy.EnergyTotal
+	sum.Cached = cached
+	return sum
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/model"
 	"repro/internal/pimarray"
+	"repro/internal/server"
 	"repro/internal/tensor"
 )
 
@@ -346,3 +347,29 @@ func NetworkToJSON(n Network) ([]byte, error) { return model.ToJSON(n) }
 // SingleLayerNetwork wraps one layer as a one-layer network, the form the
 // compile pipeline consumes.
 func SingleLayerNetwork(l Layer) Network { return model.Single(l) }
+
+// CompileKey returns the canonical cache key of one compilation — two calls
+// with the same key would produce equivalent plans, so serving layers can
+// memoize Compile on it.
+func CompileKey(n Network, a Array, opts CompileOptions) (string, error) {
+	return compile.Key(n, a, opts)
+}
+
+// Server is the HTTP compile service behind cmd/vwsdkd: POST /v1/compile
+// and /v1/sweep on one shared engine, with a whole-plan LRU cache,
+// singleflight coalescing of identical concurrent requests, bounded
+// concurrency and structured errors. A *Server is an http.Handler. See
+// server.Server.
+type Server = server.Server
+
+// ServerConfig configures a Server; the zero value is usable.
+type ServerConfig = server.Config
+
+// ServerStats is the /stats payload: server, plan-cache and engine
+// counters.
+type ServerStats = server.Stats
+
+// NewServer returns the compile service as an http.Handler:
+//
+//	http.ListenAndServe(":8080", vwsdk.NewServer(vwsdk.ServerConfig{}))
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }

@@ -2,6 +2,9 @@ package vwsdk
 
 import (
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -390,5 +393,41 @@ func TestFacadeCompile(t *testing.T) {
 	}
 	if lp.Plan == nil || lp.Search.Best.Cycles <= 0 {
 		t.Errorf("layer compile incomplete: %+v", lp.Search.Best)
+	}
+}
+
+// TestFacadeServer boots the re-exported HTTP compile service against an
+// httptest listener and round-trips one compilation.
+func TestFacadeServer(t *testing.T) {
+	ts := httptest.NewServer(NewServer(ServerConfig{}))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/compile", "application/json",
+		strings.NewReader(`{"network": "ResNet-18", "array": "512x512"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	plan, err := NetworkPlanFromJSON(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table I: ResNet-18 VW-SDK total is 4294 cycles on 512x512.
+	if plan.Totals.Cycles != 4294 {
+		t.Errorf("served total cycles = %d, want 4294", plan.Totals.Cycles)
+	}
+
+	key, err := CompileKey(ResNet18(), PaperArray, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key == "" || !strings.Contains(key, "ResNet-18") {
+		t.Errorf("compile key %q", key)
 	}
 }
