@@ -49,7 +49,7 @@ func resolveNetwork(spec string) (model.Network, error) {
 	return model.ByName(spec)
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vwsdk", flag.ContinueOnError)
 	var (
 		network = fs.String("network", "", "predefined network (VGG-13, ResNet-18, VGG-16, AlexNet) or a JSON spec file; overrides the layer flags")
@@ -58,10 +58,12 @@ func run(args []string, out io.Writer) error {
 		explain = fs.Bool("explain", false, "print the equation-by-equation derivation (single layer only)")
 		workers = fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		stats   = fs.Bool("stats", false, "print engine statistics (cache hits/misses, in-flight dedupes)")
+		stats   = fs.Bool("stats", false, "print engine statistics (cache hits/misses, candidates costed/pruned)")
 		version = fs.Bool("version", false, "print the version and exit")
+		prof    cliutil.ProfileFlags
 		lf      cliutil.LayerFlags
 	)
+	prof.Register(fs)
 	fs.StringVar(&lf.IFM, "ifm", "14x14", "input feature map size WxH")
 	fs.StringVar(&lf.Kernel, "kernel", "3x3", "kernel size WxH")
 	fs.IntVar(&lf.IC, "ic", 256, "input channels")
@@ -79,6 +81,15 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	// Everything below runs through one compile pipeline on one engine:
 	// per-layer candidate sweeps fan across the worker pool, and each of the
 	// four scheme compilations (plus the multi-array one) reuses the cached
@@ -157,6 +168,8 @@ func run(args []string, out io.Writer) error {
 		st := eng.Stats()
 		fmt.Fprintf(out, "\nengine: %d searches, %d cache hits (%d in-flight dedupes), %d misses, %d cached results, %d evictions\n",
 			st.Searches, st.CacheHits, st.FlightDedupes, st.CacheMisses, st.CachedResults, st.Evictions)
+		fmt.Fprintf(out, "search: %d candidates costed, %d pruned by breakpoint enumeration\n",
+			st.CandidatesCosted, st.CandidatesPruned)
 	}
 	if *csv {
 		fmt.Fprint(out, table.CSV())

@@ -119,6 +119,36 @@ func TestRunStats(t *testing.T) {
 			!strings.Contains(got, "in-flight dedupes") || !strings.Contains(got, "evictions") {
 			t.Errorf("args %v: missing stats line:\n%s", args, got)
 		}
+		if !strings.Contains(got, "candidates costed") ||
+			!strings.Contains(got, "pruned by breakpoint enumeration") ||
+			strings.Contains(got, "search: 0 candidates costed, 0 pruned") {
+			t.Errorf("args %v: missing or empty candidate counters:\n%s", args, got)
+		}
+	}
+}
+
+// TestRunProfileFlags smoke-tests that -cpuprofile and -memprofile write
+// non-empty pprof files.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out strings.Builder
+	if err := run([]string{"-ifm", "28x28", "-kernel", "3x3", "-ic", "64", "-oc", "64",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	if err := run([]string{"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "x")}, &out); err == nil {
+		t.Error("unwritable -cpuprofile path accepted")
 	}
 }
 

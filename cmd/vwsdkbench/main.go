@@ -1,0 +1,105 @@
+// Command vwsdkbench runs the standardized search benchmark workloads
+// (internal/bench) — the paper's Table-I zoo on 256/512/1024 arrays plus
+// large-IFM stress layers — and writes BENCH_search.json: per workload, the
+// pruned search's ns/op and allocations, the candidates it costed versus the
+// exhaustive sweep's enumeration, and a cold-compile pipeline comparison.
+// CI runs it with -benchtime 1x, uploads the JSON as an artifact, and fails
+// the job via -check-reduction when the pruning regresses toward parity.
+//
+// Examples:
+//
+//	vwsdkbench                            # 10ms per timed loop, writes BENCH_search.json
+//	vwsdkbench -benchtime 1x -o out.json  # one iteration per loop (CI smoke)
+//	vwsdkbench -filter VGG-13 -benchtime 100ms
+//	vwsdkbench -check-reduction 10        # exit 1 unless some Table-I layer prunes ≥10x
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/cliutil"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vwsdkbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, progress io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("vwsdkbench", flag.ContinueOnError)
+	var (
+		outPath   = fs.String("o", "BENCH_search.json", "output file; - writes the JSON to stdout")
+		benchtime = fs.String("benchtime", "10ms", "minimum time per timed loop, or Nx for exactly N iterations (only 1x is supported)")
+		filter    = fs.String("filter", "", "run only workloads whose name contains this substring")
+		check     = fs.Float64("check-reduction", 0, "exit non-zero unless the best Table-I candidate reduction is at least this factor")
+		quiet     = fs.Bool("quiet", false, "suppress per-workload progress output")
+		version   = fs.Bool("version", false, "print the version and exit")
+		prof      cliutil.ProfileFlags
+	)
+	prof.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintf(out, "vwsdkbench %s\n", cliutil.Version())
+		return nil
+	}
+	opts := bench.Options{}
+	if !*quiet {
+		opts.Progress = progress
+	}
+	if *benchtime == "1x" {
+		opts.Once = true
+	} else {
+		d, err := time.ParseDuration(*benchtime)
+		if err != nil {
+			return fmt.Errorf("-benchtime: %w (want a duration like 100ms, or 1x)", err)
+		}
+		opts.Benchtime = d
+	}
+	opts.Filter = *filter
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
+
+	rep, err := bench.Run(opts)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s: %d workloads, best Table-I reduction %.1fx\n",
+			*outPath, len(rep.Workloads), rep.MaxTable1Reduction)
+	}
+	if *check > 0 && rep.MaxTable1Reduction < *check {
+		return fmt.Errorf("pruned-vs-exhaustive candidate reduction regressed: best Table-I factor %.1fx < required %.1fx",
+			rep.MaxTable1Reduction, *check)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestRunWritesReport smoke-runs the benchmark in CI mode on a filtered
+// workload and validates the written JSON document.
+func TestRunWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_search.json")
+	var stdout, progress bytes.Buffer
+	err := run([]string{"-benchtime", "1x", "-filter", "conv4@512x512", "-o", out}, &stdout, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != bench.Schema || rep.Benchtime != "1x" {
+		t.Errorf("report header = %q/%q", rep.Schema, rep.Benchtime)
+	}
+	// conv4@512x512 matches one VGG-13 and one ResNet-18 workload.
+	if len(rep.Workloads) != 2 {
+		t.Fatalf("got %d workloads, want 2:\n%s", len(rep.Workloads), data)
+	}
+	for _, w := range rep.Workloads {
+		if w.CandidatesCosted <= 0 || w.CandidatesCosted > w.CandidatesFeasible ||
+			int64(w.CandidatesFeasible) > w.CandidatesExhaustive {
+			t.Errorf("%s: inconsistent candidates %d/%d/%d", w.Workload,
+				w.CandidatesCosted, w.CandidatesFeasible, w.CandidatesExhaustive)
+		}
+	}
+	if !strings.Contains(progress.String(), "wrote "+out) {
+		t.Errorf("progress output missing summary:\n%s", progress.String())
+	}
+}
+
+// TestRunCheckReduction exercises the CI regression gate in both directions:
+// VGG-13's first layers prune far beyond 10x, while a small-layer-only run
+// sits at parity and must fail.
+func TestRunCheckReduction(t *testing.T) {
+	dir := t.TempDir()
+	var out, progress bytes.Buffer
+	err := run([]string{"-benchtime", "1x", "-filter", "VGG-13/conv1@256x256", "-quiet",
+		"-check-reduction", "10", "-o", filepath.Join(dir, "a.json")}, &out, &progress)
+	if err != nil {
+		t.Errorf("conv1 should prune >= 10x: %v", err)
+	}
+	err = run([]string{"-benchtime", "1x", "-filter", "ResNet-18/conv5@512x512", "-quiet",
+		"-check-reduction", "10", "-o", filepath.Join(dir, "b.json")}, &out, &progress)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("parity workload passed the -check-reduction gate: %v", err)
+	}
+}
+
+// TestRunProfileFlags smoke-tests that the shared -cpuprofile/-memprofile
+// flags produce non-empty pprof files.
+func TestRunProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, progress bytes.Buffer
+	err := run([]string{"-benchtime", "1x", "-filter", "conv5@256x256", "-quiet",
+		"-o", filepath.Join(dir, "r.json"), "-cpuprofile", cpu, "-memprofile", mem}, &out, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestRunStdout covers -o - (JSON to stdout) and -version.
+func TestRunStdout(t *testing.T) {
+	var out, progress bytes.Buffer
+	if err := run([]string{"-version"}, &out, &progress); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "vwsdkbench ") {
+		t.Errorf("version output = %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-benchtime", "1x", "-filter", "ResNet-18/conv5@256x256", "-quiet", "-o", "-"}, &out, &progress); err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout JSON invalid: %v", err)
+	}
+	if err := run([]string{"-benchtime", "bogus"}, &out, &progress); err == nil {
+		t.Error("bad -benchtime accepted")
+	}
+}

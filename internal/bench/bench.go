@@ -1,0 +1,308 @@
+// Package bench is the standardized search-performance harness behind
+// cmd/vwsdkbench: it times the breakpoint-pruned VW-SDK search against the
+// brute-force sweep on a fixed workload set — the paper's Table-I zoo
+// (VGG-13 and ResNet-18) on 256/512/1024 arrays, plus large-IFM stress
+// layers the exhaustive sweep handles poorly — and reports the results as a
+// machine-readable JSON document (BENCH_search.json) so the repository's
+// perf trajectory is comparable across PRs and CI runs.
+//
+// The harness is deliberately self-contained (no testing.B): cmd/vwsdkbench
+// must run as a plain binary in CI, support -benchtime 1x for smoke runs,
+// and emit stable JSON. Timings are wall-clock per search; allocation counts
+// are process-wide malloc deltas per operation (exact for the single-
+// threaded search loops, approximate for the concurrent cold-compile
+// pipeline).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// Schema identifies the BENCH_search.json document layout; bump on
+// incompatible changes so cross-PR tooling can detect them.
+const Schema = "vwsdk-bench/v1"
+
+// Workload is one (layer, array) search timing target.
+type Workload struct {
+	// Name is the stable workload identifier, e.g. "VGG-13/conv1@512x512".
+	Name string
+
+	// Network names the zoo network the layer came from ("stress" for the
+	// synthetic large-IFM layers).
+	Network string
+
+	Layer core.Layer
+	Array core.Array
+
+	// Stress marks synthetic large-IFM layers whose exhaustive sweep is too
+	// slow to time routinely; only the pruned search is timed and the
+	// exhaustive candidate count is computed analytically.
+	Stress bool
+}
+
+// Standard returns the standardized workload set: every distinct Table-I
+// layer shape of VGG-13 and ResNet-18 on square 256/512/1024 arrays, then
+// the large-IFM stress layers (512×512 and beyond — IFMs on which the
+// exhaustive sweep enumerates 10⁵–10⁶ candidates and was previously the
+// cold-compile bottleneck).
+func Standard() []Workload {
+	arrays := []core.Array{{Rows: 256, Cols: 256}, {Rows: 512, Cols: 512}, {Rows: 1024, Cols: 1024}}
+	var out []Workload
+	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
+		for _, a := range arrays {
+			for _, cl := range n.Layers {
+				out = append(out, Workload{
+					Name:    fmt.Sprintf("%s/%s@%s", n.Name, cl.Name, a),
+					Network: n.Name,
+					Layer:   cl.Layer,
+					Array:   a,
+				})
+			}
+		}
+	}
+	stress := []core.Layer{
+		{Name: "hd-512", IW: 512, IH: 512, KW: 3, KH: 3, IC: 64, OC: 64},
+		{Name: "hd-768", IW: 768, IH: 768, KW: 3, KH: 3, IC: 32, OC: 64},
+		{Name: "hd-1024", IW: 1024, IH: 1024, KW: 3, KH: 3, IC: 16, OC: 32},
+	}
+	for _, l := range stress {
+		for _, a := range []core.Array{{Rows: 512, Cols: 512}, {Rows: 1024, Cols: 1024}} {
+			out = append(out, Workload{
+				Name:    fmt.Sprintf("stress/%s@%s", l.Name, a),
+				Network: "stress",
+				Layer:   l,
+				Array:   a,
+				Stress:  true,
+			})
+		}
+	}
+	return out
+}
+
+// LayerResult is one workload's measurements in the report.
+type LayerResult struct {
+	Workload string `json:"workload"`
+	Network  string `json:"network"`
+	Layer    string `json:"layer"`
+	Shape    string `json:"shape"`
+	Array    string `json:"array"`
+	Stress   bool   `json:"stress,omitempty"`
+
+	// NsPerOp/AllocsPerOp/Iters time the breakpoint-pruned search.
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	Iters       int64 `json:"iters"`
+
+	// CandidatesCosted is Result.Evaluated (cost classes costed by the
+	// pruned search); CandidatesFeasible is Result.Swept (feasible windows
+	// the exhaustive sweep costs); CandidatesExhaustive is the full
+	// candidate enumeration the exhaustive sweep hands to the cost model.
+	CandidatesCosted     int     `json:"candidates_costed"`
+	CandidatesFeasible   int     `json:"candidates_feasible"`
+	CandidatesExhaustive int64   `json:"candidates_exhaustive"`
+	Reduction            float64 `json:"reduction"`
+
+	// ExhaustiveNsPerOp times the brute-force sweep (omitted for stress
+	// workloads); SpeedupVsExhaustive is the wall-clock ratio.
+	ExhaustiveNsPerOp   int64   `json:"exhaustive_ns_per_op,omitempty"`
+	SpeedupVsExhaustive float64 `json:"speedup_vs_exhaustive,omitempty"`
+
+	// Cycles and Tile anchor the measurement to the mapping the search
+	// chose, so a perf regression hunt can spot result drift immediately.
+	Cycles int64  `json:"cycles"`
+	Tile   string `json:"tile"`
+}
+
+// ColdCompileResult times the whole compile pipeline with a cold engine —
+// the /v1/compile cold path — under pruned and exhaustive search.
+type ColdCompileResult struct {
+	Network             string  `json:"network"`
+	Array               string  `json:"array"`
+	NsPerOp             int64   `json:"ns_per_op"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	ExhaustiveNsPerOp   int64   `json:"exhaustive_ns_per_op"`
+	SpeedupVsExhaustive float64 `json:"speedup_vs_exhaustive"`
+}
+
+// Report is the BENCH_search.json document.
+type Report struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Benchtime string `json:"benchtime"`
+
+	Workloads   []LayerResult       `json:"workloads"`
+	ColdCompile []ColdCompileResult `json:"cold_compile"`
+
+	// MaxTable1Reduction is the best candidates_exhaustive/candidates_costed
+	// ratio over the non-stress (Table-I) workloads; CI fails when it
+	// regresses toward parity.
+	MaxTable1Reduction float64 `json:"max_table1_reduction"`
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Benchtime is the minimum measuring time per timed loop; Once runs
+	// every loop exactly one iteration instead (the CI smoke mode,
+	// -benchtime 1x).
+	Benchtime time.Duration
+	Once      bool
+
+	// Filter, when non-empty, keeps only workloads whose name contains it.
+	Filter string
+
+	// Progress, when non-nil, receives one line per workload.
+	Progress io.Writer
+}
+
+// Run executes the standardized workloads and builds the report.
+func Run(opts Options) (*Report, error) {
+	if opts.Benchtime <= 0 {
+		opts.Benchtime = 10 * time.Millisecond
+	}
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: opts.Benchtime.String(),
+	}
+	if opts.Once {
+		rep.Benchtime = "1x"
+	}
+	for _, w := range Standard() {
+		if opts.Filter != "" && !strings.Contains(w.Name, opts.Filter) {
+			continue
+		}
+		r, err := measure(w, opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+		}
+		rep.Workloads = append(rep.Workloads, r)
+		if !w.Stress && r.Reduction > rep.MaxTable1Reduction {
+			rep.MaxTable1Reduction = r.Reduction
+		}
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-32s %12d ns/op %8d costed of %8d (%6.1fx)\n",
+				w.Name, r.NsPerOp, r.CandidatesCosted, r.CandidatesExhaustive, r.Reduction)
+		}
+	}
+	if opts.Filter == "" || strings.Contains("cold-compile", opts.Filter) {
+		cc, err := coldCompile(opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.ColdCompile = append(rep.ColdCompile, cc)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-32s %12d ns/op vs %d exhaustive (%.1fx)\n",
+				"cold-compile/"+cc.Network+"@"+cc.Array, cc.NsPerOp, cc.ExhaustiveNsPerOp,
+				cc.SpeedupVsExhaustive)
+		}
+	}
+	return rep, nil
+}
+
+// measure times one workload and gathers its candidate statistics.
+func measure(w Workload, opts Options) (LayerResult, error) {
+	l := w.Layer.Normalized()
+	res, err := core.SearchVWSDK(l, w.Array)
+	if err != nil {
+		return LayerResult{}, err
+	}
+	out := LayerResult{
+		Workload: w.Name,
+		Network:  w.Network,
+		Layer:    l.Name,
+		Shape:    l.String(),
+		Array:    w.Array.String(),
+		Stress:   w.Stress,
+
+		CandidatesCosted:     res.Evaluated,
+		CandidatesFeasible:   res.Swept,
+		CandidatesExhaustive: core.ExhaustiveCandidates(l, core.VariantFull),
+
+		Cycles: res.Best.Cycles,
+		Tile:   res.Best.TileString(),
+	}
+	if res.Evaluated > 0 {
+		out.Reduction = round1(float64(out.CandidatesExhaustive) / float64(res.Evaluated))
+	}
+	out.NsPerOp, out.AllocsPerOp, out.Iters = timeIt(opts, func() {
+		if _, err := core.SearchVWSDK(l, w.Array); err != nil {
+			panic(err) // unreachable: the measured search succeeded above
+		}
+	})
+	if !w.Stress {
+		exhNs, _, _ := timeIt(opts, func() {
+			if _, err := core.SearchVWSDKExhaustive(l, w.Array); err != nil {
+				panic(err)
+			}
+		})
+		out.ExhaustiveNsPerOp = exhNs
+		if out.NsPerOp > 0 {
+			out.SpeedupVsExhaustive = round1(float64(exhNs) / float64(out.NsPerOp))
+		}
+	}
+	return out, nil
+}
+
+// coldCompile times the full compile pipeline for VGG-13 on the paper's
+// 512×512 array with a fresh engine per iteration — the server's cold
+// /v1/compile path — under the pruned and exhaustive searches.
+func coldCompile(opts Options) (ColdCompileResult, error) {
+	net := model.VGG13()
+	a := core.Array{Rows: 512, Cols: 512}
+	run := func(engOpts ...engine.Option) func() {
+		return func() {
+			comp := compile.New(engine.New(engOpts...))
+			if _, err := comp.Compile(net, a, compile.Options{}); err != nil {
+				panic(err) // unreachable: VGG-13 on 512x512 always compiles
+			}
+		}
+	}
+	// Fail fast (with an error, not a panic) if the pipeline is broken.
+	if _, err := compile.New(engine.New()).Compile(net, a, compile.Options{}); err != nil {
+		return ColdCompileResult{}, fmt.Errorf("bench: cold compile: %w", err)
+	}
+	out := ColdCompileResult{Network: net.Name, Array: a.String()}
+	out.NsPerOp, out.AllocsPerOp, _ = timeIt(opts, run())
+	out.ExhaustiveNsPerOp, _, _ = timeIt(opts, run(engine.WithExhaustiveSearch()))
+	if out.NsPerOp > 0 {
+		out.SpeedupVsExhaustive = round1(float64(out.ExhaustiveNsPerOp) / float64(out.NsPerOp))
+	}
+	return out, nil
+}
+
+// timeIt runs f once to warm up, then measures it: exactly one iteration in
+// Once mode, otherwise iterations until Benchtime has elapsed. Allocation
+// counts are process-wide malloc deltas divided by iterations.
+func timeIt(opts Options, f func()) (nsPerOp, allocsPerOp, iters int64) {
+	f() // warm-up, outside the measurement
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var n int64
+	for {
+		f()
+		n++
+		if opts.Once || time.Since(start) >= opts.Benchtime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed.Nanoseconds() / n, int64(after.Mallocs-before.Mallocs) / n, n
+}
+
+// round1 rounds to one decimal so the JSON stays readable.
+func round1(x float64) float64 { return float64(int64(x*10+0.5)) / 10 }

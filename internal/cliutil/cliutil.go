@@ -3,13 +3,79 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
+	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 )
+
+// ProfileFlags holds the shared -cpuprofile/-memprofile flag values of the
+// cmd/ tools. Register the flags with Register, then bracket the work:
+//
+//	stop, err := prof.Start()
+//	if err != nil { return err }
+//	defer stop() // or collect stop()'s error on the happy path
+//
+// Start begins CPU profiling when -cpuprofile was given; the returned stop
+// finishes the CPU profile and writes the heap profile when -memprofile was
+// given. Both profiles are pprof-format files for `go tool pprof`.
+type ProfileFlags struct {
+	CPU string
+	Mem string
+
+	cpuFile *os.File
+}
+
+// Register declares the -cpuprofile and -memprofile flags on fs.
+func (p *ProfileFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&p.CPU, "cpuprofile", "", "write a CPU profile to `file`")
+	fs.StringVar(&p.Mem, "memprofile", "", "write a heap profile to `file` on exit")
+}
+
+// Start begins CPU profiling if requested and returns the function that
+// stops it and writes the heap profile; stop is never nil and is safe to
+// call when no profiling was requested.
+func (p *ProfileFlags) Start() (stop func() error, err error) {
+	if p.CPU != "" {
+		p.cpuFile, err = os.Create(p.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
+			p.cpuFile.Close()
+			return nil, fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+	}
+	return p.stop, nil
+}
+
+func (p *ProfileFlags) stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("cliutil: -cpuprofile: %w", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.Mem != "" {
+		f, err := os.Create(p.Mem)
+		if err != nil {
+			return fmt.Errorf("cliutil: -memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the final live set
+		if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+			return fmt.Errorf("cliutil: -memprofile: %w", err)
+		}
+	}
+	return nil
+}
 
 // Version returns the version string the cmd/ tools print for -version: the
 // module version when the binary was built from a tagged module, otherwise

@@ -1,6 +1,9 @@
 package cliutil
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -92,5 +95,62 @@ func TestVersion(t *testing.T) {
 	}
 	if again := Version(); again != v {
 		t.Errorf("version not stable: %q then %q", v, again)
+	}
+}
+
+// TestProfileFlags covers the shared -cpuprofile/-memprofile plumbing: flag
+// registration, profile files written on stop, the no-profiling no-op, and
+// the unwritable-path error.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	var p ProfileFlags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p.Register(fs)
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1e5; i++ {
+		_ = i * i // give the CPU profiler something to sample
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+
+	// No flags: Start and stop are no-ops.
+	var none ProfileFlags
+	stop, err = none.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := ProfileFlags{CPU: filepath.Join(dir, "no", "such", "dir", "cpu")}
+	if _, err := bad.Start(); err == nil {
+		t.Error("unwritable -cpuprofile path accepted")
+	}
+	badMem := ProfileFlags{Mem: filepath.Join(dir, "no", "such", "dir", "mem")}
+	stop, err = badMem.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Error("unwritable -memprofile path accepted")
 	}
 }

@@ -68,8 +68,8 @@ func ExplainSearch(r Result) string {
 	b.WriteString(indent(r.Im2col.Explain()))
 	b.WriteString("chosen:\n")
 	b.WriteString(indent(r.Best.Explain()))
-	fmt.Fprintf(&b, "speedup vs im2col: %.2fx (%d candidate windows evaluated)\n",
-		r.SpeedupVsIm2col(), r.Evaluated)
+	fmt.Fprintf(&b, "speedup vs im2col: %.2fx (%d cost classes costed, %d feasible windows swept exhaustively)\n",
+		r.SpeedupVsIm2col(), r.Evaluated, r.Swept)
 	return b.String()
 }
 

@@ -15,23 +15,49 @@ type Result struct {
 	// paper's speedups are Best vs Im2col.
 	Im2col Mapping
 
-	// Evaluated is the number of candidate windows costed (excluding the
-	// im2col seed); useful for search-cost reporting.
+	// Evaluated is the number of distinct cost classes actually costed by
+	// the search that produced this result (excluding the im2col seed). The
+	// default breakpoint-pruned searches cost one representative per
+	// constant-cycle run of candidate widths, so Evaluated ≤ Swept; the
+	// exhaustive sweeps cost every feasible candidate, so Evaluated == Swept.
 	Evaluated int
+
+	// Swept is the number of feasible candidate windows the exhaustive
+	// sweep costs for this (layer, array, search) — the legacy meaning of
+	// Evaluated. Pruned and exhaustive searches report the same Swept
+	// (computed analytically by the former), which differential tests pin.
+	Swept int
 }
 
 // SpeedupVsIm2col returns how many times faster Best is than im2col.
 func (r Result) SpeedupVsIm2col() float64 { return r.Best.Speedup(r.Im2col) }
 
 // SearchVWSDK implements Algorithm 1 of the paper: it initializes the
-// minimum computing cycles with the im2col mapping, then sweeps every
+// minimum computing cycles with the im2col mapping, then considers every
 // parallel-window shape from the kernel size up to the padded IFM size —
 // width in the inner loop, height in the outer loop, exactly as the paper's
-// pseudocode increments PW_width first — costing each candidate with eq. 8
-// and keeping the first strictly better one. Infeasible candidates (window
+// pseudocode increments PW_width first — costing candidates with eq. 8 and
+// keeping the first strictly better one. Infeasible candidates (window
 // larger than the rows can hold even one channel, or more windows than
 // columns) are skipped.
+//
+// The default implementation is the breakpoint-pruned enumerator
+// (search_pruned.go): it costs one representative per constant-cycle run of
+// candidate widths instead of every candidate, and is bit-identical —
+// including the first-strictly-better tie-break — to the brute-force sweep,
+// which remains available as SearchVWSDKExhaustive for differential and fuzz
+// testing.
 func SearchVWSDK(l Layer, a Array) (Result, error) {
+	return searchVWSDKPruned(l.Normalized(), a)
+}
+
+// SearchVWSDKExhaustive is the brute-force Algorithm 1 sweep: every
+// candidate window of the padded IFM is handed to the cost model —
+// O(PaddedW × PaddedH) candidates per layer. It returns exactly the same
+// Best and Im2col as SearchVWSDK (differential and fuzz tests pin this) and
+// exists as the reference the pruned search is validated against; use
+// SearchVWSDK everywhere else.
+func SearchVWSDKExhaustive(l Layer, a Array) (Result, error) {
 	l = l.Normalized()
 	base, err := Im2col(l, a)
 	if err != nil {
@@ -59,6 +85,7 @@ func SearchVWSDK(l Layer, a Array) (Result, error) {
 			}
 		}
 	}
+	res.Swept = res.Evaluated
 	return res, nil
 }
 
@@ -86,13 +113,18 @@ func SearchSDK(l Layer, a Array) (Result, error) {
 		return Result{}, err
 	}
 	res := Result{Best: base, Im2col: base}
-	maxSide := min(l.PaddedW(), l.PaddedH())
 	// Square windows require a square kernel extent to stay square in
 	// window units; for rectangular kernels the baseline grows both sides
 	// equally from the kernel, matching "shift and duplicate" in both axes.
+	// (An earlier version also broke when max(pw.W, pw.H) exceeded
+	// min(PaddedW, PaddedH); for square kernels with equal strides — where
+	// pw stays square — and for square IFMs that check is implied by the
+	// two bounds below, see TestSearchSDKBoundsGuard. On rectangular IFMs
+	// with rectangular kernels it wrongly truncated the sweep before the
+	// window reached the padded IFM, discarding valid candidates.)
 	for d := 1; ; d++ {
 		pw := Window{W: l.KW + d*l.StrideW, H: l.KH + d*l.StrideH}
-		if pw.W > l.PaddedW() || pw.H > l.PaddedH() || max(pw.W, pw.H) > maxSide {
+		if pw.W > l.PaddedW() || pw.H > l.PaddedH() {
 			break
 		}
 		m, err := SDK(l, a, pw)
@@ -107,6 +139,7 @@ func SearchSDK(l Layer, a Array) (Result, error) {
 			res.Best = m
 		}
 	}
+	res.Swept = res.Evaluated
 	if res.Best.Scheme == SchemeIm2col {
 		// Report the degenerate choice in SDK notation (kernel window).
 		res.Best.Scheme = SchemeSDK
@@ -138,6 +171,7 @@ func SearchSMD(l Layer, a Array) (Result, error) {
 	// chosen; Evaluated consistently counts candidates costed, as in the
 	// other searches.
 	res.Evaluated = 1
+	res.Swept = 1
 	if m.Cycles < res.Best.Cycles || dup > 1 {
 		res.Best = m
 	} else {
@@ -178,12 +212,33 @@ func (v Variant) String() string {
 }
 
 // SearchVariant runs the VW-SDK search restricted to the given ablation
-// variant. VariantFull is identical to SearchVWSDK.
+// variant. VariantFull is identical to SearchVWSDK. Like SearchVWSDK, every
+// variant runs its breakpoint-pruned enumerator; SearchVariantExhaustive is
+// the brute-force reference.
 func SearchVariant(l Layer, a Array, v Variant) (Result, error) {
 	l = l.Normalized()
 	switch v {
 	case VariantFull:
-		return SearchVWSDK(l, a)
+		return searchVWSDKPruned(l, a)
+	case VariantSquareTiled:
+		return searchSquareTiledPruned(l, a)
+	case VariantRectFullChannel:
+		return searchRectFullChannelPruned(l, a)
+	default:
+		return Result{}, fmt.Errorf("core: unknown variant %d", int(v))
+	}
+}
+
+// SearchVariantExhaustive is the brute-force counterpart of SearchVariant:
+// candidate-by-candidate sweeps with no breakpoint pruning, returning the
+// same Best and Im2col (differential and fuzz tests pin this). Evaluated
+// keeps its legacy meaning here — every feasible candidate costed — and
+// always equals Swept.
+func SearchVariantExhaustive(l Layer, a Array, v Variant) (Result, error) {
+	l = l.Normalized()
+	switch v {
+	case VariantFull:
+		return SearchVWSDKExhaustive(l, a)
 	case VariantSquareTiled:
 		base, err := Im2col(l, a)
 		if err != nil {
@@ -198,12 +253,10 @@ func SearchVariant(l Layer, a Array, v Variant) (Result, error) {
 			m, err := SweepVW(l, a, pw)
 			if err != nil {
 				if errors.Is(err, ErrInfeasible) {
-					// Skip like SearchVWSDK does. Early exit would also be
-					// correct here — the window grows in both axes with d, so
-					// ICt = floor(Rows/area) and OCt = floor(Cols/Nw) are
-					// non-increasing and can never become feasible again —
-					// but continuing keeps the sweep behavior identical
-					// across searches (guarded by a regression test).
+					// Skip rather than early-exit: the brute force stays
+					// deliberately free of monotonicity assumptions so it can
+					// falsify the pruned search's (guarded by a regression
+					// test that the pruned early exit misses nothing).
 					continue
 				}
 				return Result{}, err
@@ -213,6 +266,7 @@ func SearchVariant(l Layer, a Array, v Variant) (Result, error) {
 				res.Best = m
 			}
 		}
+		res.Swept = res.Evaluated
 		return res, nil
 	case VariantRectFullChannel:
 		base, err := Im2col(l, a)
@@ -238,6 +292,7 @@ func SearchVariant(l Layer, a Array, v Variant) (Result, error) {
 				}
 			}
 		}
+		res.Swept = res.Evaluated
 		return res, nil
 	default:
 		return Result{}, fmt.Errorf("core: unknown variant %d", int(v))

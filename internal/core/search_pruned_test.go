@@ -1,0 +1,240 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// prunedTestArrays are the acceptance arrays the pruned search is pinned
+// against the brute force on.
+var prunedTestArrays = []Array{
+	{Rows: 256, Cols: 256},
+	{Rows: 512, Cols: 512},
+	{Rows: 1024, Cols: 1024},
+}
+
+// zooShapes returns every distinct layer shape of the paper's Table I zoo
+// (VGG-13 and ResNet-18) plus stride/padding/rectangular exercisers.
+func zooShapes() []Layer {
+	shapes := append(vgg13Shapes(), resnet18Shapes()...)
+	shapes = append(shapes,
+		Layer{Name: "alex1", IW: 227, IH: 227, KW: 11, KH: 11, IC: 3, OC: 96, StrideW: 4, StrideH: 4},
+		Layer{Name: "alex2", IW: 27, IH: 27, KW: 5, KH: 5, IC: 96, OC: 256, PadW: 2, PadH: 2},
+		Layer{Name: "rect-ifm", IW: 40, IH: 12, KW: 3, KH: 3, IC: 16, OC: 32},
+		Layer{Name: "rect-kernel", IW: 32, IH: 32, KW: 5, KH: 3, IC: 8, OC: 24},
+		Layer{Name: "strided-pad", IW: 30, IH: 30, KW: 3, KH: 3, IC: 12, OC: 20, StrideW: 2, StrideH: 2, PadW: 1, PadH: 1},
+		Layer{Name: "uneven-stride", IW: 25, IH: 25, KW: 3, KH: 3, IC: 6, OC: 10, StrideW: 2, StrideH: 3},
+	)
+	return shapes
+}
+
+// TestPrunedMatchesExhaustiveZoo is the differential test the breakpoint
+// pruning rests on: on the full Table-I zoo (plus stride/padding/rectangular
+// exercisers), for every acceptance array and every variant, the pruned
+// search must return exactly the exhaustive sweep's Best and Im2col —
+// including the width-inner/height-outer first-strictly-better tie-break —
+// and its analytic Swept must equal the candidates the brute force costed.
+func TestPrunedMatchesExhaustiveZoo(t *testing.T) {
+	variants := []Variant{VariantFull, VariantSquareTiled, VariantRectFullChannel}
+	for _, a := range prunedTestArrays {
+		for _, l := range zooShapes() {
+			for _, v := range variants {
+				pruned, err := SearchVariant(l, a, v)
+				if err != nil {
+					t.Fatalf("%s/%s/%v pruned: %v", l.Name, a, v, err)
+				}
+				exh, err := SearchVariantExhaustive(l, a, v)
+				if err != nil {
+					t.Fatalf("%s/%s/%v exhaustive: %v", l.Name, a, v, err)
+				}
+				if !reflect.DeepEqual(pruned.Best, exh.Best) {
+					t.Errorf("%s/%s/%v: Best differs\npruned     %+v\nexhaustive %+v",
+						l.Name, a, v, pruned.Best, exh.Best)
+				}
+				if !reflect.DeepEqual(pruned.Im2col, exh.Im2col) {
+					t.Errorf("%s/%s/%v: Im2col differs", l.Name, a, v)
+				}
+				if pruned.Swept != exh.Evaluated || exh.Swept != exh.Evaluated {
+					t.Errorf("%s/%s/%v: pruned Swept = %d, exhaustive costed %d (Swept %d)",
+						l.Name, a, v, pruned.Swept, exh.Evaluated, exh.Swept)
+				}
+				if pruned.Evaluated > exh.Evaluated {
+					t.Errorf("%s/%s/%v: pruned costed %d classes > %d exhaustive candidates",
+						l.Name, a, v, pruned.Evaluated, exh.Evaluated)
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedSearchReduction pins the headline perf claim: on VGG-13's first
+// layer the pruned search costs at least 10x fewer candidates than the
+// exhaustive sweep enumerates, and stays well under the feasible count too.
+func TestPrunedSearchReduction(t *testing.T) {
+	conv1 := Layer{Name: "conv1", IW: 224, IH: 224, KW: 3, KH: 3, IC: 3, OC: 64}
+	res, err := SearchVWSDK(conv1, array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enumerated := ExhaustiveCandidates(conv1, VariantFull)
+	if enumerated != int64(222*222-1) {
+		t.Fatalf("ExhaustiveCandidates = %d, want %d", enumerated, 222*222-1)
+	}
+	if int64(res.Evaluated)*10 > enumerated {
+		t.Errorf("Evaluated = %d cost classes, want >= 10x below the %d enumerated candidates",
+			res.Evaluated, enumerated)
+	}
+	if res.Evaluated >= res.Swept {
+		t.Errorf("Evaluated = %d not below the %d feasible candidates", res.Evaluated, res.Swept)
+	}
+	t.Logf("conv1 on %s: %d cost classes costed, %d feasible, %d enumerated (%.1fx reduction)",
+		array512, res.Evaluated, res.Swept, enumerated,
+		float64(enumerated)/float64(res.Evaluated))
+}
+
+// TestExhaustiveCandidatesSquareTiled pins the square-tiled candidate count:
+// the number of in-bounds windows beyond the kernel along the shorter axis.
+func TestExhaustiveCandidatesSquareTiled(t *testing.T) {
+	l := Layer{IW: 23, IH: 23, KW: 3, KH: 3, IC: 8, OC: 8, StrideW: 2, StrideH: 2}
+	want := int64(0)
+	for d := 1; ; d++ {
+		if 3+2*d > 23 {
+			break
+		}
+		want++
+	}
+	if got := ExhaustiveCandidates(l, VariantSquareTiled); got != want {
+		t.Errorf("ExhaustiveCandidates(square+tiled) = %d, want %d", got, want)
+	}
+}
+
+// TestExhaustiveSearcher pins that the Exhaustive reference Searcher agrees
+// with Serial (the pruned default) on a whole-network search.
+func TestExhaustiveSearcher(t *testing.T) {
+	layers := resnet18Shapes()
+	want, err := Serial{}.SearchNetwork(layers, array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Exhaustive{}.SearchNetwork(layers, array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.TotalCycles != got.TotalCycles || want.TotalIm2col != got.TotalIm2col {
+		t.Errorf("totals differ: serial %d/%d, exhaustive %d/%d",
+			want.TotalCycles, want.TotalIm2col, got.TotalCycles, got.TotalIm2col)
+	}
+	for i := range want.Results {
+		if !reflect.DeepEqual(want.Results[i].Best, got.Results[i].Best) {
+			t.Errorf("layer %d: Best differs", i)
+		}
+	}
+	for _, pair := range [][2]func(Layer, Array) (Result, error){
+		{Serial{}.SearchSDK, Exhaustive{}.SearchSDK},
+		{Serial{}.SearchSMD, Exhaustive{}.SearchSMD},
+	} {
+		w, err1 := pair[0](layers[0], array512)
+		g, err2 := pair[1](layers[0], array512)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !reflect.DeepEqual(w, g) {
+			t.Error("baseline searches diverge between Serial and Exhaustive")
+		}
+	}
+}
+
+// TestSearchSDKBoundsGuard proves dropping the old max(pw.W,pw.H) > maxSide
+// guard changes nothing wherever it was redundant: for square IFMs (any
+// kernel) and for square kernels with equal strides (where the candidate
+// window stays square), the guard was implied by the two per-axis bounds
+// checks. The test reimplements the old guarded loop inline and compares
+// full results across rectangular-kernel and rectangular-IFM layers.
+//
+// (On rectangular IFMs with rectangular kernels the old guard was not
+// redundant — it truncated the sweep before the window reached the padded
+// IFM; the last case documents that removing it can only widen the candidate
+// set, never change feasible winners on the paper's square-IFM zoo.)
+func TestSearchSDKBoundsGuard(t *testing.T) {
+	oldGuarded := func(l Layer, a Array) (Result, error) {
+		l = l.Normalized()
+		base, err := Im2col(l, a)
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{Best: base, Im2col: base}
+		maxSide := min(l.PaddedW(), l.PaddedH())
+		for d := 1; ; d++ {
+			pw := Window{W: l.KW + d*l.StrideW, H: l.KH + d*l.StrideH}
+			if pw.W > l.PaddedW() || pw.H > l.PaddedH() || max(pw.W, pw.H) > maxSide {
+				break
+			}
+			m, err := SDK(l, a, pw)
+			if err != nil {
+				return Result{}, err
+			}
+			res.Evaluated++
+			if m.AR > base.AR || m.AC > base.AC {
+				continue
+			}
+			if m.Cycles < res.Best.Cycles {
+				res.Best = m
+			}
+		}
+		res.Swept = res.Evaluated
+		if res.Best.Scheme == SchemeIm2col {
+			res.Best.Scheme = SchemeSDK
+		}
+		return res, nil
+	}
+
+	cases := []Layer{
+		// Rectangular kernels on square IFMs: guard provably redundant.
+		{Name: "rk-53", IW: 32, IH: 32, KW: 5, KH: 3, IC: 8, OC: 24},
+		{Name: "rk-35", IW: 32, IH: 32, KW: 3, KH: 5, IC: 8, OC: 24},
+		{Name: "rk-17", IW: 24, IH: 24, KW: 1, KH: 7, IC: 4, OC: 16},
+		{Name: "rk-pad", IW: 20, IH: 20, KW: 7, KH: 3, IC: 6, OC: 12, PadW: 2, PadH: 2},
+		// Square kernels on rectangular IFMs with equal strides: the window
+		// stays square, guard again redundant.
+		{Name: "ri-wide", IW: 48, IH: 12, KW: 3, KH: 3, IC: 16, OC: 32},
+		{Name: "ri-tall", IW: 12, IH: 48, KW: 3, KH: 3, IC: 16, OC: 32},
+		{Name: "ri-stride", IW: 40, IH: 16, KW: 5, KH: 5, IC: 4, OC: 8, StrideW: 2, StrideH: 2},
+	}
+	for _, l := range cases {
+		for _, a := range []Array{{64, 64}, {256, 256}, {512, 512}} {
+			want, err := oldGuarded(l, a)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", l.Name, a, err)
+			}
+			got, err := SearchSDK(l, a)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", l.Name, a, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: behavior changed\nold guarded %+v\nnew         %+v",
+					l.Name, a, want, got)
+			}
+		}
+	}
+
+	// Rectangular kernel on a rectangular IFM: the old guard truncated the
+	// sweep (a tall window is "wider" than the short IFM axis); without it
+	// the search may only consider more candidates and find a mapping at
+	// least as good.
+	l := Layer{Name: "rk-ri", IW: 10, IH: 40, KW: 3, KH: 5, IC: 2, OC: 4}
+	a := Array{Rows: 512, Cols: 512}
+	want, err := oldGuarded(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Evaluated < want.Evaluated {
+		t.Errorf("unguarded sweep costed %d < guarded %d candidates", got.Evaluated, want.Evaluated)
+	}
+	if got.Best.Cycles > want.Best.Cycles {
+		t.Errorf("unguarded sweep worse: %d > %d cycles", got.Best.Cycles, want.Best.Cycles)
+	}
+}

@@ -465,8 +465,10 @@ func TestSquareTiledInfeasibleSkip(t *testing.T) {
 }
 
 // TestEvaluatedCountsCandidatesCosted pins the meaning of Result.Evaluated
-// across all three searches: the number of candidate mappings actually
-// costed, not a scheme parameter like the SMD duplication factor.
+// and Result.Swept across all three searches: Evaluated is the number of
+// cost classes the search actually costed (one representative per
+// constant-cycle run for the pruned default), Swept is the feasible
+// candidate count of the exhaustive sweep — the legacy Evaluated.
 func TestEvaluatedCountsCandidatesCosted(t *testing.T) {
 	// SMD costs exactly one mapping whatever duplication it picks.
 	small := Layer{IW: 10, IH: 10, KW: 3, KH: 3, IC: 4, OC: 8}
@@ -477,11 +479,13 @@ func TestEvaluatedCountsCandidatesCosted(t *testing.T) {
 	if res.Best.Dup != 3 {
 		t.Fatalf("dup = %d, want 3", res.Best.Dup)
 	}
-	if res.Evaluated != 1 {
-		t.Errorf("SMD Evaluated = %d, want 1 (one mapping costed)", res.Evaluated)
+	if res.Evaluated != 1 || res.Swept != 1 {
+		t.Errorf("SMD Evaluated = %d, Swept = %d, want 1 (one mapping costed)",
+			res.Evaluated, res.Swept)
 	}
 
-	// VW-SDK counts every feasible non-kernel window.
+	// VW-SDK sweeps every feasible non-kernel window; the pruned default
+	// costs at most one representative per cost class.
 	l := Layer{IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
 	vw, err := SearchVWSDK(l, array512)
 	if err != nil {
@@ -498,8 +502,19 @@ func TestEvaluatedCountsCandidatesCosted(t *testing.T) {
 			}
 		}
 	}
-	if vw.Evaluated != count {
-		t.Errorf("VW-SDK Evaluated = %d, want %d feasible windows", vw.Evaluated, count)
+	if vw.Swept != count {
+		t.Errorf("VW-SDK Swept = %d, want %d feasible windows", vw.Swept, count)
+	}
+	if vw.Evaluated <= 0 || vw.Evaluated > count {
+		t.Errorf("VW-SDK Evaluated = %d cost classes, want in (0, %d]", vw.Evaluated, count)
+	}
+	exh, err := SearchVWSDKExhaustive(l, array512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exh.Evaluated != count || exh.Swept != count {
+		t.Errorf("exhaustive Evaluated = %d, Swept = %d, want %d feasible windows",
+			exh.Evaluated, exh.Swept, count)
 	}
 
 	// SDK costs every square candidate inside the IFM bounds (its
@@ -512,7 +527,8 @@ func TestEvaluatedCountsCandidatesCosted(t *testing.T) {
 	for d := 1; 3+d <= 14; d++ {
 		squares++
 	}
-	if sdk.Evaluated != squares {
-		t.Errorf("SDK Evaluated = %d, want %d costed candidates", sdk.Evaluated, squares)
+	if sdk.Evaluated != squares || sdk.Swept != squares {
+		t.Errorf("SDK Evaluated = %d, Swept = %d, want %d costed candidates",
+			sdk.Evaluated, sdk.Swept, squares)
 	}
 }

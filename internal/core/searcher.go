@@ -35,3 +35,32 @@ func (Serial) SearchVariant(l Layer, a Array, v Variant) (Result, error) {
 func (Serial) SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
 	return SearchNetwork(layers, a)
 }
+
+// Exhaustive is the Searcher backed by the brute-force sweeps
+// (SearchVWSDKExhaustive / SearchVariantExhaustive): the reference the
+// breakpoint-pruned default is differentially tested and benchmarked
+// against. The baseline searches (SDK, SMD) have no pruned/exhaustive split
+// and are shared with Serial. The zero value is ready to use.
+type Exhaustive struct{}
+
+// SearchVWSDK runs the brute-force Algorithm 1 sweep.
+func (Exhaustive) SearchVWSDK(l Layer, a Array) (Result, error) {
+	return SearchVWSDKExhaustive(l, a)
+}
+
+// SearchSDK runs the SDK baseline search (no exhaustive split).
+func (Exhaustive) SearchSDK(l Layer, a Array) (Result, error) { return SearchSDK(l, a) }
+
+// SearchSMD runs the SMD baseline search (no exhaustive split).
+func (Exhaustive) SearchSMD(l Layer, a Array) (Result, error) { return SearchSMD(l, a) }
+
+// SearchVariant runs a brute-force ablated sweep.
+func (Exhaustive) SearchVariant(l Layer, a Array, v Variant) (Result, error) {
+	return SearchVariantExhaustive(l, a, v)
+}
+
+// SearchNetwork optimizes every layer with the brute-force sweep and sums
+// the totals.
+func (Exhaustive) SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
+	return SearchNetworkWith(layers, a, SearchVWSDKExhaustive)
+}

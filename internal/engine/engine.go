@@ -1,23 +1,29 @@
 // Package engine is the concurrent, memoizing front end to the core mapping
-// searches: it fans candidate-window evaluation and per-layer searches
-// across a bounded worker pool and dedupes repeated (layer shape, array,
-// search) combinations through an LRU result cache — ResNet and VGG repeat
-// layer shapes heavily, and experiment sweeps re-cost the same pairs from
-// scratch otherwise.
+// searches: it fans per-layer searches and batch-sweep cells across a
+// bounded worker pool and dedupes repeated (layer shape, array, search)
+// combinations through an LRU result cache — ResNet and VGG repeat layer
+// shapes heavily, and experiment sweeps re-cost the same pairs from scratch
+// otherwise.
 //
-// Results are bit-identical to the serial algorithms in internal/core: the
-// parallel Algorithm 1 sweep costs candidates concurrently but reduces them
-// in the paper's scan order (width inner, height outer) with the same
-// first-strictly-better tie-breaking, and every cached result is replayed
-// with only the caller's layer name re-stamped. Differential tests assert
-// equality on every predefined network.
+// Each individual search runs the core package's breakpoint-pruned
+// enumerator (core.SearchVWSDK and friends), which generates candidate cost
+// classes on the fly instead of materializing and chunking the O(PaddedW ×
+// PaddedH) candidate slice the engine used to fan out; a search now costs a
+// few hundred candidates at most, so the worker pool's parallelism is spent
+// where it pays — across layers and sweep cells — and per-search allocations
+// shrink to the result itself. WithExhaustiveSearch switches an engine to
+// the brute-force core sweeps for differential testing and benchmarking.
+//
+// Results are bit-identical to the serial algorithms in internal/core:
+// every cached result is replayed with only the caller's layer name
+// re-stamped, and differential tests assert equality on every predefined
+// network.
 //
 // An Engine is safe for concurrent use; all methods may be called from any
 // goroutine.
 package engine
 
 import (
-	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -28,10 +34,11 @@ import (
 // Engine schedules mapping searches over a worker pool and memoizes their
 // results. The zero value is not usable; call New.
 type Engine struct {
-	workers  int
-	cacheCap int
-	sem      chan struct{} // bounds concurrently running candidate chunks
-	cache    *resultCache
+	workers    int
+	cacheCap   int
+	exhaustive bool
+	sem        chan struct{} // bounds concurrently running searches
+	cache      *resultCache
 
 	mu     sync.Mutex
 	flight map[cacheKey]*call // in-flight searches, for duplicate suppression
@@ -40,6 +47,8 @@ type Engine struct {
 	hits     atomic.Uint64
 	misses   atomic.Uint64
 	dedupes  atomic.Uint64
+	costed   atomic.Uint64
+	pruned   atomic.Uint64
 }
 
 // call is one in-flight search; waiters block on done and read res/err.
@@ -52,7 +61,7 @@ type call struct {
 // Option configures an Engine.
 type Option func(*Engine)
 
-// WithWorkers bounds the number of concurrently evaluated candidate chunks;
+// WithWorkers bounds the number of concurrently running searches;
 // n < 1 restores the default (GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(e *Engine) { e.workers = n }
@@ -64,14 +73,20 @@ func WithCacheSize(n int) Option {
 	return func(e *Engine) { e.cacheCap = n }
 }
 
+// WithExhaustiveSearch routes the engine's VW-SDK and variant searches
+// through the brute-force core sweeps (core.SearchVWSDKExhaustive /
+// core.SearchVariantExhaustive) instead of the breakpoint-pruned default.
+// Results are bit-identical either way; the option exists so differential
+// tests and cmd/vwsdkbench can compare the two paths under the same caching
+// and concurrency.
+func WithExhaustiveSearch() Option {
+	return func(e *Engine) { e.exhaustive = true }
+}
+
 // defaultCacheSize holds every distinct (shape, array, search) of a large
 // multi-network, multi-array sweep with room to spare; one entry is a few
 // hundred bytes.
 const defaultCacheSize = 4096
-
-// serialThreshold is the candidate count below which a sweep stays on the
-// calling goroutine: spawning workers costs more than costing the windows.
-const serialThreshold = 512
 
 // New returns an Engine with the given options applied.
 func New(opts ...Option) *Engine {
@@ -117,32 +132,42 @@ type Stats struct {
 
 	// CachedResults is the current number of cached results.
 	CachedResults int
+
+	// CandidatesCosted sums Result.Evaluated over every search the engine
+	// actually computed (cache hits and in-flight joins cost nothing): the
+	// number of candidate windows handed to the cost model.
+	CandidatesCosted uint64
+
+	// CandidatesPruned counts the candidate windows the exhaustive sweeps
+	// would have costed for those same searches but the breakpoint-pruned
+	// enumerators skipped (core.ExhaustiveCandidates − Evaluated). Always 0
+	// on a WithExhaustiveSearch engine and for the SDK/SMD baselines, which
+	// have no pruned/exhaustive split.
+	CandidatesPruned uint64
 }
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Searches:      e.searches.Load(),
-		CacheHits:     e.hits.Load(),
-		CacheMisses:   e.misses.Load(),
-		FlightDedupes: e.dedupes.Load(),
-		Evictions:     e.cache.evicted(),
-		CachedResults: e.cache.len(),
+		Searches:         e.searches.Load(),
+		CacheHits:        e.hits.Load(),
+		CacheMisses:      e.misses.Load(),
+		FlightDedupes:    e.dedupes.Load(),
+		Evictions:        e.cache.evicted(),
+		CachedResults:    e.cache.len(),
+		CandidatesCosted: e.costed.Load(),
+		CandidatesPruned: e.pruned.Load(),
 	}
 }
 
-// SearchVWSDK runs Algorithm 1 (the optimal parallel-window search) with
-// candidate windows costed across the worker pool; bit-identical to
-// core.SearchVWSDK.
+// SearchVWSDK runs Algorithm 1 (the optimal parallel-window search) under
+// the cache and worker pool; bit-identical to core.SearchVWSDK.
 func (e *Engine) SearchVWSDK(l core.Layer, a core.Array) (core.Result, error) {
-	return e.memoized(newCacheKey(l, a, kindVWSDK, 0), l.Name, func() (core.Result, error) {
-		return e.sweepVWSDK(l, a)
-	})
+	return e.SearchVariant(l, a, core.VariantFull)
 }
 
 // SearchSDK runs the square-window SDK baseline search; bit-identical to
-// core.SearchSDK. The candidate set is tiny (one window per duplication
-// step), so it runs serially under the cache.
+// core.SearchSDK.
 func (e *Engine) SearchSDK(l core.Layer, a core.Array) (core.Result, error) {
 	return e.memoized(newCacheKey(l, a, kindSDK, 0), l.Name, func() (core.Result, error) {
 		return e.withSlot(func() (core.Result, error) { return core.SearchSDK(l, a) })
@@ -158,22 +183,20 @@ func (e *Engine) SearchSMD(l core.Layer, a core.Array) (core.Result, error) {
 }
 
 // SearchVariant runs an ablated VW-SDK search; bit-identical to
-// core.SearchVariant. VariantFull shares cache entries with SearchVWSDK, and
-// VariantRectFullChannel — the only other exhaustive 2-D sweep — is costed
-// across the worker pool.
+// core.SearchVariant. VariantFull shares cache entries with SearchVWSDK.
 func (e *Engine) SearchVariant(l core.Layer, a core.Array, v core.Variant) (core.Result, error) {
-	switch v {
-	case core.VariantFull:
-		return e.SearchVWSDK(l, a)
-	case core.VariantRectFullChannel:
-		return e.memoized(newCacheKey(l, a, kindVariant, v), l.Name, func() (core.Result, error) {
-			return e.sweepRectFullChannel(l, a)
-		})
-	default:
-		return e.memoized(newCacheKey(l, a, kindVariant, v), l.Name, func() (core.Result, error) {
-			return e.withSlot(func() (core.Result, error) { return core.SearchVariant(l, a, v) })
-		})
+	k := newCacheKey(l, a, kindVariant, v)
+	if v == core.VariantFull {
+		k = newCacheKey(l, a, kindVWSDK, 0)
 	}
+	return e.memoized(k, l.Name, func() (core.Result, error) {
+		return e.withSlot(func() (core.Result, error) {
+			if e.exhaustive {
+				return core.SearchVariantExhaustive(l, a, v)
+			}
+			return core.SearchVariant(l, a, v)
+		})
+	})
 }
 
 // SearchNetwork optimizes every layer through the engine concurrently and
@@ -240,6 +263,7 @@ func (e *Engine) memoized(k cacheKey, name string, compute func() (core.Result, 
 	e.misses.Add(1)
 	res, err := compute()
 	if err == nil {
+		e.countCandidates(k, res)
 		c.res = anonymized(res)
 		e.cache.put(k, c.res)
 	}
@@ -251,12 +275,29 @@ func (e *Engine) memoized(k cacheKey, name string, compute func() (core.Result, 
 	return res, err
 }
 
-// withSlot runs f while holding one worker-pool slot, so every leaf
-// computation — serial baseline searches, sub-threshold sweeps, the
-// single-worker bypass — is bounded by WithWorkers just like the chunked
-// sweeps. Callers must not already hold a slot (holding one while acquiring
-// another would deadlock a single-worker pool); the orchestration layers
-// (memoized, SearchNetworkVariant, Sweep) never do.
+// countCandidates maintains the CandidatesCosted/CandidatesPruned counters
+// for one computed (never cached) search result.
+func (e *Engine) countCandidates(k cacheKey, res core.Result) {
+	e.costed.Add(uint64(res.Evaluated))
+	if e.exhaustive {
+		return
+	}
+	switch k.kind {
+	case kindVWSDK, kindVariant:
+		v := core.VariantFull
+		if k.kind == kindVariant {
+			v = k.variant
+		}
+		if ex := core.ExhaustiveCandidates(k.layer, v); ex > int64(res.Evaluated) {
+			e.pruned.Add(uint64(ex - int64(res.Evaluated)))
+		}
+	}
+}
+
+// withSlot runs f while holding one worker-pool slot, so every leaf search
+// is bounded by WithWorkers. Callers must not already hold a slot (holding
+// one while acquiring another would deadlock a single-worker pool); the
+// orchestration layers (memoized, SearchNetworkVariant, Sweep) never do.
 func (e *Engine) withSlot(f func() (core.Result, error)) (core.Result, error) {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
@@ -272,164 +313,4 @@ func renamed(res core.Result, name string) core.Result {
 	res.Best.Layer.Name = name
 	res.Im2col.Layer.Name = name
 	return res
-}
-
-// enumerate lists Algorithm 1's candidate windows in the paper's scan order:
-// width in the inner loop, height in the outer loop, skipping the
-// kernel-sized window the im2col seed covers. Slice order is what the
-// reduction in sweep relies on to replay serial tie-breaking.
-func enumerate(l core.Layer) []core.Window {
-	cands := make([]core.Window, 0, (l.PaddedH()-l.KH+1)*(l.PaddedW()-l.KW+1)-1)
-	for h := l.KH; h <= l.PaddedH(); h++ {
-		for w := l.KW; w <= l.PaddedW(); w++ {
-			if w == l.KW && h == l.KH {
-				continue
-			}
-			cands = append(cands, core.Window{W: w, H: h})
-		}
-	}
-	return cands
-}
-
-// chunkResult is the deterministic summary of one contiguous candidate
-// range: the range's minimum-cycle mapping at the earliest scan position
-// (first-strictly-better within the chunk), how many candidates were costed,
-// and the first hard (non-infeasible) error.
-type chunkResult struct {
-	best      core.Mapping
-	bestSet   bool
-	evaluated int
-	err       error
-}
-
-// sweep costs all candidates with cost, fanned across the worker pool in
-// contiguous chunks, and reduces them in scan order seeded by base. skip, if
-// non-nil, filters costed mappings (the rect+full-channels feasibility
-// rule); skipped candidates still count as evaluated, matching the serial
-// loops. Any hard error aborts with that error; because chunks are merged in
-// scan order, the reported error is the earliest one a serial sweep would
-// have hit only when it occurs in the first erroring chunk — the serial
-// algorithms cannot actually return hard errors for enumerated in-bounds
-// candidates once Im2col validated the layer, so this path is defensive.
-func (e *Engine) sweep(
-	base core.Result,
-	cands []core.Window,
-	cost func(core.Window) (core.Mapping, error),
-	skip func(core.Mapping) bool,
-) (core.Result, error) {
-	res := base
-	if len(cands) < serialThreshold {
-		return e.withSlot(func() (core.Result, error) {
-			for _, pw := range cands {
-				m, err := cost(pw)
-				if err != nil {
-					if errors.Is(err, core.ErrInfeasible) {
-						continue
-					}
-					return core.Result{}, err
-				}
-				res.Evaluated++
-				if skip != nil && skip(m) {
-					continue
-				}
-				if m.Cycles < res.Best.Cycles {
-					res.Best = m
-				}
-			}
-			return res, nil
-		})
-	}
-
-	chunks := e.workers
-	if chunks > len(cands) {
-		chunks = len(cands)
-	}
-	parts := make([]chunkResult, chunks)
-	var wg sync.WaitGroup
-	for ci := 0; ci < chunks; ci++ {
-		lo := ci * len(cands) / chunks
-		hi := (ci + 1) * len(cands) / chunks
-		wg.Add(1)
-		go func(ci, lo, hi int) {
-			defer wg.Done()
-			e.sem <- struct{}{}
-			defer func() { <-e.sem }()
-			part := &parts[ci]
-			for _, pw := range cands[lo:hi] {
-				m, err := cost(pw)
-				if err != nil {
-					if errors.Is(err, core.ErrInfeasible) {
-						continue
-					}
-					part.err = err
-					return
-				}
-				part.evaluated++
-				if skip != nil && skip(m) {
-					continue
-				}
-				// Strict < replays the serial first-strictly-better rule
-				// within the chunk's contiguous scan range.
-				if !part.bestSet || m.Cycles < part.best.Cycles {
-					part.best = m
-					part.bestSet = true
-				}
-			}
-		}(ci, lo, hi)
-	}
-	wg.Wait()
-	for _, part := range parts {
-		if part.err != nil {
-			return core.Result{}, part.err
-		}
-		res.Evaluated += part.evaluated
-		if part.bestSet && part.best.Cycles < res.Best.Cycles {
-			res.Best = part.best
-		}
-	}
-	return res, nil
-}
-
-// sweepVWSDK is the parallel Algorithm 1: im2col seeds the minimum, every
-// feasible variable window is costed with eq. 8, and the scan-order
-// reduction keeps the first strictly better candidate.
-func (e *Engine) sweepVWSDK(l core.Layer, a core.Array) (core.Result, error) {
-	if e.workers == 1 {
-		// A single-worker pool cannot overlap candidate chunks; the serial
-		// algorithm is the same computation without the fan-out overhead.
-		return e.withSlot(func() (core.Result, error) { return core.SearchVWSDK(l, a) })
-	}
-	l = l.Normalized()
-	base, err := core.Im2col(l, a)
-	if err != nil {
-		return core.Result{}, err
-	}
-	return e.sweep(
-		core.Result{Best: base, Im2col: base},
-		enumerate(l),
-		func(pw core.Window) (core.Mapping, error) { return core.SweepVW(l, a, pw) },
-		nil,
-	)
-}
-
-// sweepRectFullChannel is the parallel VariantRectFullChannel ablation:
-// rectangular windows costed with the SDK baseline's whole-channel rule,
-// filtering candidates whose row or column cycles exceed im2col's.
-func (e *Engine) sweepRectFullChannel(l core.Layer, a core.Array) (core.Result, error) {
-	if e.workers == 1 {
-		return e.withSlot(func() (core.Result, error) {
-			return core.SearchVariant(l, a, core.VariantRectFullChannel)
-		})
-	}
-	l = l.Normalized()
-	base, err := core.Im2col(l, a)
-	if err != nil {
-		return core.Result{}, err
-	}
-	return e.sweep(
-		core.Result{Best: base, Im2col: base},
-		enumerate(l),
-		func(pw core.Window) (core.Mapping, error) { return core.SDK(l, a, pw) },
-		func(m core.Mapping) bool { return m.AR > base.AR || m.AC > base.AC },
-	)
 }

@@ -335,6 +335,85 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestEngineCandidateCounters pins CandidatesCosted/CandidatesPruned
+// deterministically: one computed search adds exactly the serial result's
+// cost-class count and the exhaustive-minus-costed difference; cache hits add
+// nothing; baseline searches (no pruned/exhaustive split) prune nothing; and
+// a WithExhaustiveSearch engine reports zero pruning by definition.
+func TestEngineCandidateCounters(t *testing.T) {
+	l := core.Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	a := core.Array{Rows: 512, Cols: 512}
+	serial, err := core.SearchVWSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enumerated := core.ExhaustiveCandidates(l, core.VariantFull)
+
+	e := New()
+	if _, err := e.SearchVWSDK(l, a); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.CandidatesCosted != uint64(serial.Evaluated) {
+		t.Errorf("CandidatesCosted = %d, want %d (serial cost classes)",
+			st.CandidatesCosted, serial.Evaluated)
+	}
+	if want := uint64(enumerated) - uint64(serial.Evaluated); st.CandidatesPruned != want {
+		t.Errorf("CandidatesPruned = %d, want %d (%d enumerated − %d costed)",
+			st.CandidatesPruned, want, enumerated, serial.Evaluated)
+	}
+	// A cache hit costs nothing.
+	if _, err := e.SearchVWSDK(l, a); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := e.Stats(); st2.CandidatesCosted != st.CandidatesCosted || st2.CandidatesPruned != st.CandidatesPruned {
+		t.Errorf("cache hit moved candidate counters: %+v -> %+v", st, st2)
+	}
+	// Baseline searches count their costed candidates but prune nothing.
+	sdk, err := e.SearchSDK(l, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3 := e.Stats(); st3.CandidatesCosted != st.CandidatesCosted+uint64(sdk.Evaluated) ||
+		st3.CandidatesPruned != st.CandidatesPruned {
+		t.Errorf("SDK search counters off: %+v (sdk costed %d)", st3, sdk.Evaluated)
+	}
+
+	exh := New(WithExhaustiveSearch())
+	if _, err := exh.SearchVWSDK(l, a); err != nil {
+		t.Fatal(err)
+	}
+	if st := exh.Stats(); st.CandidatesPruned != 0 || st.CandidatesCosted != uint64(serial.Swept) {
+		t.Errorf("exhaustive engine stats = %+v, want %d costed, 0 pruned", st, serial.Swept)
+	}
+}
+
+// TestEngineExhaustiveSearchOption pins that a WithExhaustiveSearch engine
+// returns the brute-force results (same Best, legacy Evaluated == Swept) on
+// a sample of zoo shapes and variants.
+func TestEngineExhaustiveSearchOption(t *testing.T) {
+	e := New(WithExhaustiveSearch())
+	a := core.Array{Rows: 512, Cols: 512}
+	for _, l := range model.ResNet18().CoreLayers() {
+		for _, v := range []core.Variant{core.VariantFull, core.VariantSquareTiled, core.VariantRectFullChannel} {
+			want, err := core.SearchVariantExhaustive(l, a, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.SearchVariant(l, a, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%v: exhaustive engine differs from core exhaustive", l.Name, v)
+			}
+			if got.Evaluated != got.Swept {
+				t.Errorf("%s/%v: exhaustive Evaluated %d != Swept %d", l.Name, v, got.Evaluated, got.Swept)
+			}
+		}
+	}
+}
+
 // TestSweep compares every cell of a batch sweep against serial
 // per-layer searches.
 func TestSweep(t *testing.T) {

@@ -342,6 +342,13 @@ type EngineStats struct {
 	FlightDedupes uint64 `json:"flight_dedupes"`
 	Evictions     uint64 `json:"evictions"`
 	CachedResults int    `json:"cached_results"`
+
+	// CandidatesCosted counts candidate windows handed to the cost model by
+	// computed searches; CandidatesPruned counts the windows the exhaustive
+	// sweeps would have costed but the breakpoint-pruned enumerators
+	// skipped.
+	CandidatesCosted uint64 `json:"candidates_costed"`
+	CandidatesPruned uint64 `json:"candidates_pruned"`
 }
 
 // Stats returns a snapshot of every counter the service exposes.
@@ -357,12 +364,14 @@ func (s *Server) Stats() Stats {
 		},
 		PlanCache: s.plans.stats(),
 		Engine: EngineStats{
-			Searches:      es.Searches,
-			CacheHits:     es.CacheHits,
-			CacheMisses:   es.CacheMisses,
-			FlightDedupes: es.FlightDedupes,
-			Evictions:     es.Evictions,
-			CachedResults: es.CachedResults,
+			Searches:         es.Searches,
+			CacheHits:        es.CacheHits,
+			CacheMisses:      es.CacheMisses,
+			FlightDedupes:    es.FlightDedupes,
+			Evictions:        es.Evictions,
+			CachedResults:    es.CachedResults,
+			CandidatesCosted: es.CandidatesCosted,
+			CandidatesPruned: es.CandidatesPruned,
 		},
 	}
 }

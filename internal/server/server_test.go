@@ -513,6 +513,9 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Engine.Searches != 2 || st.Engine.CacheMisses != 2 || st.Engine.Evictions != 1 {
 		t.Errorf("engine stats %+v, want 2 searches/misses and 1 eviction", st.Engine)
 	}
+	if st.Engine.CandidatesCosted == 0 || st.Engine.CandidatesPruned == 0 {
+		t.Errorf("engine stats %+v, want non-zero candidates costed and pruned", st.Engine)
+	}
 	var n uint64
 	for _, c := range st.Server.LatencyMs.Counts {
 		n += c

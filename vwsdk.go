@@ -97,8 +97,25 @@ func SDK(l Layer, a Array, pw Window) (Mapping, error) { return core.SDK(l, a, p
 // VW costs the paper's variable-window mapping for one window (eqs. 3–8).
 func VW(l Layer, a Array, pw Window) (Mapping, error) { return core.VW(l, a, pw) }
 
-// SearchVWSDK runs Algorithm 1: the optimal parallel-window search.
+// SearchVWSDK runs Algorithm 1: the optimal parallel-window search. The
+// default implementation walks only breakpoints of eq. 8's step functions
+// (O(√Rows + √Cols) cost classes per IFM row instead of O(PaddedW)
+// candidates) and is bit-identical to the brute-force sweep.
 func SearchVWSDK(l Layer, a Array) (SearchResult, error) { return core.SearchVWSDK(l, a) }
+
+// SearchVWSDKExhaustive runs the brute-force Algorithm 1 sweep — the
+// reference the pruned default is differentially tested against. It returns
+// the same Best and Im2col as SearchVWSDK.
+func SearchVWSDKExhaustive(l Layer, a Array) (SearchResult, error) {
+	return core.SearchVWSDKExhaustive(l, a)
+}
+
+// ExhaustiveSearchCandidates returns the number of candidate windows the
+// brute-force search for variant v would hand to the cost model for layer l
+// (the candidates the pruned search avoids).
+func ExhaustiveSearchCandidates(l Layer, v Variant) int64 {
+	return core.ExhaustiveCandidates(l, v)
+}
 
 // SearchSDK runs the square-window SDK baseline search.
 func SearchSDK(l Layer, a Array) (SearchResult, error) { return core.SearchSDK(l, a) }
@@ -106,9 +123,16 @@ func SearchSDK(l Layer, a Array) (SearchResult, error) { return core.SearchSDK(l
 // SearchSMD runs the sub-matrix-duplication baseline search.
 func SearchSMD(l Layer, a Array) (SearchResult, error) { return core.SearchSMD(l, a) }
 
-// SearchVariant runs an ablated VW-SDK search.
+// SearchVariant runs an ablated VW-SDK search (breakpoint-pruned, like
+// SearchVWSDK).
 func SearchVariant(l Layer, a Array, v Variant) (SearchResult, error) {
 	return core.SearchVariant(l, a, v)
+}
+
+// SearchVariantExhaustive runs an ablated search with the brute-force
+// candidate sweep instead of breakpoint pruning.
+func SearchVariantExhaustive(l Layer, a Array, v Variant) (SearchResult, error) {
+	return core.SearchVariantExhaustive(l, a, v)
 }
 
 // Network is a named list of conv layers. See model.Network.
@@ -245,9 +269,14 @@ type Searcher = core.Searcher
 // reference algorithms.
 func SerialSearcher() Searcher { return core.Serial{} }
 
-// Engine is a concurrent, memoizing search engine: candidate windows and
-// per-layer searches fan across a worker pool, and repeated (layer shape,
-// array, search) combinations are served from an LRU cache. Results are
+// ExhaustiveSearcher returns the Searcher backed by the brute-force sweeps,
+// for differential testing and benchmarking against the pruned default.
+func ExhaustiveSearcher() Searcher { return core.Exhaustive{} }
+
+// Engine is a concurrent, memoizing search engine: per-layer searches and
+// batch-sweep cells fan across a worker pool (each individual search runs
+// the breakpoint-pruned enumerator), and repeated (layer shape, array,
+// search) combinations are served from an LRU cache. Results are
 // bit-identical to the serial searches. See engine.Engine.
 type Engine = engine.Engine
 
@@ -275,8 +304,13 @@ func WithWorkers(n int) EngineOption { return engine.WithWorkers(n) }
 // caching.
 func WithCacheSize(n int) EngineOption { return engine.WithCacheSize(n) }
 
+// WithExhaustiveSearch routes an engine's VW-SDK and variant searches
+// through the brute-force sweeps instead of the breakpoint-pruned default,
+// for differential testing and benchmarking.
+func WithExhaustiveSearch() EngineOption { return engine.WithExhaustiveSearch() }
+
 // SearchNetworkParallel optimizes every layer through a fresh engine —
-// candidate windows fan across the worker pool and repeated layer shapes
+// layer searches fan across the worker pool and repeated layer shapes
 // are costed once. Results are bit-identical to SearchNetwork. Callers
 // optimizing several networks or arrays should build one Engine (or use
 // Engine.Sweep) to share its cache across calls.

@@ -274,6 +274,55 @@ func TestFacadeExtensions(t *testing.T) {
 	}
 }
 
+// TestFacadeExhaustiveSearch checks the brute-force exports agree with the
+// pruned defaults and that the pruning bookkeeping is exposed.
+func TestFacadeExhaustiveSearch(t *testing.T) {
+	l := Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	pruned, err := SearchVWSDK(l, PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, err := SearchVWSDKExhaustive(l, PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Best != exh.Best || pruned.Swept != exh.Evaluated {
+		t.Errorf("pruned %+v vs exhaustive %+v", pruned.Best, exh.Best)
+	}
+	if n := ExhaustiveSearchCandidates(l, VariantFull); n != 12*12-1 {
+		t.Errorf("ExhaustiveSearchCandidates = %d, want 143", n)
+	}
+	vp, err := SearchVariant(l, PaperArray, VariantSquareTiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, err := SearchVariantExhaustive(l, PaperArray, VariantSquareTiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.Best != ve.Best {
+		t.Error("variant pruned/exhaustive disagree")
+	}
+	es, err := ExhaustiveSearcher().SearchVWSDK(l, PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Best != exh.Best {
+		t.Error("ExhaustiveSearcher disagrees with SearchVWSDKExhaustive")
+	}
+	eng := NewEngine(WithExhaustiveSearch())
+	er, err := eng.SearchVWSDK(l, PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Evaluated != exh.Evaluated {
+		t.Errorf("exhaustive engine costed %d, want %d", er.Evaluated, exh.Evaluated)
+	}
+	if st := eng.Stats(); st.CandidatesPruned != 0 || st.CandidatesCosted == 0 {
+		t.Errorf("exhaustive engine stats = %+v", st)
+	}
+}
+
 func TestFacadeSearchNetwork(t *testing.T) {
 	nr, err := SearchNetwork(ResNet18().CoreLayers(), PaperArray)
 	if err != nil {
