@@ -1,6 +1,7 @@
 package vwsdk
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -295,7 +296,7 @@ func BenchmarkNetworkSweepEngineCold(b *testing.B) {
 	nets := sweepNetworks()
 	for i := 0; i < b.N; i++ {
 		eng := engine.New()
-		cells := eng.Sweep(nets, experiments.PaperArrays, nil)
+		cells := eng.Sweep(context.Background(), nets, experiments.PaperArrays, nil)
 		for _, c := range cells {
 			if c.Err != nil {
 				b.Fatal(c.Err)
@@ -310,7 +311,7 @@ func BenchmarkNetworkSweepEngineWarm(b *testing.B) {
 	eng := engine.New()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cells := eng.Sweep(nets, experiments.PaperArrays, nil)
+		cells := eng.Sweep(context.Background(), nets, experiments.PaperArrays, nil)
 		for _, c := range cells {
 			if c.Err != nil {
 				b.Fatal(c.Err)
@@ -335,7 +336,7 @@ func BenchmarkCompile(b *testing.B) {
 			comp := NewCompiler(nil)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := comp.Compile(n, PaperArray, CompileOptions{Arrays: 16}); err != nil {
+				if _, err := comp.Compile(context.Background(), NewCompileRequest(n, PaperArray, CompileOptions{Arrays: 16})); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -350,7 +351,7 @@ func BenchmarkSearchVWSDKEngine(b *testing.B) {
 	l := Layer{Name: "vgg-conv1", IW: 224, IH: 224, KW: 3, KH: 3, IC: 3, OC: 64}
 	eng := engine.New(engine.WithCacheSize(0))
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.SearchVWSDK(l, experiments.Array512); err != nil {
+		if _, err := eng.SearchVWSDK(context.Background(), l, experiments.Array512); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -87,7 +88,7 @@ func run(args []string, out io.Writer) error {
 	}
 	// Compile the layer: one call yields the chosen mapping, its energy
 	// report and the physical plan the simulator executes.
-	lp, err := compile.New(core.Serial{}).CompileLayer(l, a, compile.Options{Scheme: sc})
+	lp, err := compile.New(core.Serial{}).CompileLayer(context.Background(), l, a, compile.Options{Scheme: sc})
 	if err != nil {
 		return err
 	}

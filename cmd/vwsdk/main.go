@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -59,6 +60,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		workers = fs.Int("workers", 0, "search worker-pool size (0 = GOMAXPROCS)")
 		csv     = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		stats   = fs.Bool("stats", false, "print engine statistics (cache hits/misses, candidates costed/pruned)")
+		timeout = fs.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
 		version = fs.Bool("version", false, "print the version and exit")
 		prof    cliutil.ProfileFlags
 		lf      cliutil.LayerFlags
@@ -80,6 +82,14 @@ func run(args []string, out io.Writer) (retErr error) {
 	a, err := cliutil.ParseArray(*arraySp)
 	if err != nil {
 		return err
+	}
+	// The one context every compilation below runs under: the -timeout
+	// deadline aborts the searches at their next cancellation checkpoint.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -118,7 +128,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		if len(net.Layers) != 1 {
 			return fmt.Errorf("-explain works on a single layer, not a network")
 		}
-		res, err := eng.SearchVWSDK(net.Layers[0].Layer, a)
+		res, err := eng.SearchVWSDK(ctx, net.Layers[0].Layer, a)
 		if err != nil {
 			return err
 		}
@@ -127,15 +137,15 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 
 	// Compile the network under every scheme the paper compares.
-	smd, err := comp.Compile(net, a, compile.Options{Scheme: compile.SMD})
+	smd, err := comp.Compile(ctx, compile.NewRequest(net, a, compile.Options{Scheme: compile.SMD}))
 	if err != nil {
 		return err
 	}
-	sdk, err := comp.Compile(net, a, compile.Options{Scheme: compile.SDK})
+	sdk, err := comp.Compile(ctx, compile.NewRequest(net, a, compile.Options{Scheme: compile.SDK}))
 	if err != nil {
 		return err
 	}
-	vw, err := comp.Compile(net, a, compile.Options{})
+	vw, err := comp.Compile(ctx, compile.NewRequest(net, a, compile.Options{}))
 	if err != nil {
 		return err
 	}
@@ -178,7 +188,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	fmt.Fprint(out, table.String())
 	if *nArrays > 1 {
-		many, err := comp.Compile(net, a, compile.Options{Arrays: *nArrays})
+		many, err := comp.Compile(ctx, compile.NewRequest(net, a, compile.Options{Arrays: *nArrays}))
 		if err != nil {
 			return err
 		}

@@ -180,3 +180,13 @@ func TestRunVersion(t *testing.T) {
 		t.Errorf("version output %q", out.String())
 	}
 }
+
+// TestRunTimeoutExpired pins the -timeout flag: an already-expired deadline
+// aborts the compilation with a context error instead of printing a table.
+func TestRunTimeoutExpired(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-network", "VGG-13", "-array", "512x512", "-timeout", "1ns"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,6 +42,7 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 		filter    = fs.String("filter", "", "run only workloads whose name contains this substring")
 		check     = fs.Float64("check-reduction", 0, "exit non-zero unless the best Table-I candidate reduction is at least this factor")
 		quiet     = fs.Bool("quiet", false, "suppress per-workload progress output")
+		timeout   = fs.Duration("timeout", 0, "abort the harness after this long (0 = no deadline)")
 		version   = fs.Bool("version", false, "print the version and exit")
 		prof      cliutil.ProfileFlags
 	)
@@ -77,7 +79,13 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 		}
 	}()
 
-	rep, err := bench.Run(opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := bench.Run(ctx, opts)
 	if err != nil {
 		return err
 	}

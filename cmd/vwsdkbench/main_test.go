@@ -110,3 +110,13 @@ func TestRunStdout(t *testing.T) {
 		t.Error("bad -benchtime accepted")
 	}
 }
+
+// TestRunTimeoutExpired pins the -timeout flag: an already-expired deadline
+// aborts the harness with a context error instead of running the grid.
+func TestRunTimeoutExpired(t *testing.T) {
+	var out, progress strings.Builder
+	err := run([]string{"-benchtime", "1x", "-timeout", "1ns", "-o", "-"}, &out, &progress)
+	if err == nil || !strings.Contains(err.Error(), "context deadline exceeded") {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+}

@@ -7,11 +7,15 @@
 // Examples:
 //
 //	vwsdkd -addr :8080
-//	vwsdkd -addr 127.0.0.1:0 -workers 4 -plan-cache 256 -quiet
+//	vwsdkd -addr 127.0.0.1:0 -workers 4 -plan-cache 256 -timeout 30s -quiet
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/compile \
 //	  -d '{"network": "VGG-13", "array": "512x512"}'
+//	curl -s -X POST localhost:8080/v1/jobs \
+//	  -d '{"sweep": {"networks": ["VGG-13"], "arrays": ["256x256", "512x512"]}}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-1
 package main
 
 import (
@@ -58,6 +62,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		inflight  = fs.Int("max-inflight", 0, "max concurrently running compilations (0 = GOMAXPROCS)")
 		maxQueue  = fs.Int("max-queue", 0, "max compilations waiting for a slot (0 default 64, <0 rejects immediately)")
 		maxBody   = fs.Int64("max-body", 0, "request body limit in bytes (0 default 1 MiB)")
+		timeout   = fs.Duration("timeout", 0, "per-request deadline; exceeding it returns a structured 504 (0 = none)")
+		jobTTL    = fs.Duration("job-ttl", 0, "how long finished jobs stay queryable (0 default 10m, <0 collect immediately)")
+		maxJobs   = fs.Int("max-jobs", 0, "max queued or running jobs (0 default 64)")
 		quiet     = fs.Bool("quiet", false, "disable the per-request access log")
 		version   = fs.Bool("version", false, "print the version and exit")
 	)
@@ -74,12 +81,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		logger = log.New(out, "vwsdkd: ", log.LstdFlags)
 	}
 	srv := server.New(server.Config{
-		Engine:        engine.New(engine.WithWorkers(*workers), engine.WithCacheSize(*cacheSize)),
-		PlanCacheSize: *planCache,
-		MaxConcurrent: *inflight,
-		MaxQueue:      *maxQueue,
-		MaxBodyBytes:  *maxBody,
-		Logger:        logger,
+		Engine:         engine.New(engine.WithWorkers(*workers), engine.WithCacheSize(*cacheSize)),
+		PlanCacheSize:  *planCache,
+		MaxConcurrent:  *inflight,
+		MaxQueue:       *maxQueue,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		JobTTL:         *jobTTL,
+		MaxJobs:        *maxJobs,
+		Logger:         logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

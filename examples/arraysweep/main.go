@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// VGG-13 conv5: the layer where rectangular windows shine.
 	layer := vwsdk.Layer{
 		Name: "vgg13-conv5",
@@ -42,7 +44,7 @@ func main() {
 	fmt.Printf("%-10s %14s %14s %10s %10s %8s\n",
 		"array", "window (tile)", "im2col cycles", "VW cycles", "speedup", "util %")
 	for _, a := range arrays {
-		lp, err := comp.CompileLayer(layer, a, vwsdk.CompileOptions{})
+		lp, err := comp.CompileLayer(ctx, layer, a, vwsdk.CompileOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,7 +66,7 @@ func main() {
 	}
 	fmt.Printf("\nablation sweep (networks x arrays x variants via Engine.Sweep):\n")
 	a := vwsdk.Array{Rows: 512, Cols: 512}
-	for _, cell := range eng.Sweep([]vwsdk.Network{net}, []vwsdk.Array{a}, variants) {
+	for _, cell := range eng.Sweep(ctx, []vwsdk.Network{net}, []vwsdk.Array{a}, variants) {
 		if cell.Err != nil {
 			log.Fatal(cell.Err)
 		}

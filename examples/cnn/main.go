@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cnn := vwsdk.TinyCNN(2022)
 	array := vwsdk.Array{Rows: 96, Cols: 64}
 	input := vwsdk.RandFeatureMap(7, 3, 16, 16)
@@ -32,7 +34,7 @@ func main() {
 	comp := vwsdk.NewCompiler(nil)
 	var total vwsdk.CrossbarStats
 	crossbarExec := func(l vwsdk.Layer, x *vwsdk.FeatureMap, w *vwsdk.Weights) (*vwsdk.FeatureMap, error) {
-		lp, err := comp.CompileLayer(l, array, vwsdk.CompileOptions{})
+		lp, err := comp.CompileLayer(ctx, l, array, vwsdk.CompileOptions{})
 		if err != nil {
 			return nil, err
 		}

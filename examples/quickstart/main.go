@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// ResNet-18 conv4 from the paper's Table I: 3x3x256x256 on a 14x14
 	// feature map, mapped to a 512x512 PIM array.
 	layer := vwsdk.Layer{
@@ -31,7 +33,7 @@ func main() {
 	}
 	plans := make([]*vwsdk.NetworkPlan, len(schemes))
 	for i, s := range schemes {
-		p, err := comp.Compile(net, array, vwsdk.CompileOptions{Scheme: s})
+		p, err := comp.Compile(ctx, vwsdk.NewCompileRequest(net, array, vwsdk.CompileOptions{Scheme: s}))
 		if err != nil {
 			log.Fatal(err)
 		}

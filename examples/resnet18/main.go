@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,15 +15,16 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	net := vwsdk.ResNet18()
 	array := vwsdk.PaperArray
 
 	comp := vwsdk.NewCompiler(nil)
-	im, err := comp.Compile(net, array, vwsdk.CompileOptions{Scheme: vwsdk.CompileIm2col})
+	im, err := comp.Compile(ctx, vwsdk.NewCompileRequest(net, array, vwsdk.CompileOptions{Scheme: vwsdk.CompileIm2col}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	vw, err := comp.Compile(net, array, vwsdk.CompileOptions{})
+	vw, err := comp.Compile(ctx, vwsdk.NewCompileRequest(net, array, vwsdk.CompileOptions{}))
 	if err != nil {
 		log.Fatal(err)
 	}

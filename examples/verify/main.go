@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,7 +32,7 @@ func main() {
 
 	// Drill into the VW-SDK plan: compiling with Plans: true builds the
 	// physical weight-placement plan alongside the search.
-	lp, err := vwsdk.NewCompiler(nil).CompileLayer(layer, array,
+	lp, err := vwsdk.NewCompiler(nil).CompileLayer(context.Background(), layer, array,
 		vwsdk.CompileOptions{Plans: true})
 	if err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,17 +14,18 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	net := vwsdk.VGG13()
 	array := vwsdk.PaperArray
 
 	// One compiler, two compilations: the SDK baseline and VW-SDK. The
 	// im2col reference rides along in every per-layer search result.
 	comp := vwsdk.NewCompiler(nil)
-	sdk, err := comp.Compile(net, array, vwsdk.CompileOptions{Scheme: vwsdk.CompileSDK})
+	sdk, err := comp.Compile(ctx, vwsdk.NewCompileRequest(net, array, vwsdk.CompileOptions{Scheme: vwsdk.CompileSDK}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	vw, err := comp.Compile(net, array, vwsdk.CompileOptions{})
+	vw, err := comp.Compile(ctx, vwsdk.NewCompileRequest(net, array, vwsdk.CompileOptions{}))
 	if err != nil {
 		log.Fatal(err)
 	}

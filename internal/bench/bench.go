@@ -15,6 +15,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -165,8 +166,14 @@ type Options struct {
 	Progress io.Writer
 }
 
-// Run executes the standardized workloads and builds the report.
-func Run(opts Options) (*Report, error) {
+// Run executes the standardized workloads and builds the report. The
+// context gates the grid at workload granularity: it is checked between
+// workloads (and between the timing loops inside one) and threaded into
+// each workload's initial correctness search, so a -timeout deadline (or
+// Ctrl-C plumbed in by the caller) aborts the harness within one timing
+// loop. The timed iterations themselves deliberately run context-free — a
+// deadline firing mid-loop would corrupt the measurement it interrupts.
+func Run(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Benchtime <= 0 {
 		opts.Benchtime = 10 * time.Millisecond
 	}
@@ -181,10 +188,13 @@ func Run(opts Options) (*Report, error) {
 		rep.Benchtime = "1x"
 	}
 	for _, w := range Standard() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("bench: aborted: %w", err)
+		}
 		if opts.Filter != "" && !strings.Contains(w.Name, opts.Filter) {
 			continue
 		}
-		r, err := measure(w, opts)
+		r, err := measure(ctx, w, opts)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s: %w", w.Name, err)
 		}
@@ -198,7 +208,7 @@ func Run(opts Options) (*Report, error) {
 		}
 	}
 	if opts.Filter == "" || strings.Contains("cold-compile", opts.Filter) {
-		cc, err := coldCompile(opts)
+		cc, err := coldCompile(ctx, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -213,9 +223,9 @@ func Run(opts Options) (*Report, error) {
 }
 
 // measure times one workload and gathers its candidate statistics.
-func measure(w Workload, opts Options) (LayerResult, error) {
+func measure(ctx context.Context, w Workload, opts Options) (LayerResult, error) {
 	l := w.Layer.Normalized()
-	res, err := core.SearchVWSDK(l, w.Array)
+	res, err := core.SearchVWSDKContext(ctx, l, w.Array)
 	if err != nil {
 		return LayerResult{}, err
 	}
@@ -243,6 +253,9 @@ func measure(w Workload, opts Options) (LayerResult, error) {
 		}
 	})
 	if !w.Stress {
+		if err := ctx.Err(); err != nil {
+			return LayerResult{}, err
+		}
 		exhNs, _, _ := timeIt(opts, func() {
 			if _, err := core.SearchVWSDKExhaustive(l, w.Array); err != nil {
 				panic(err)
@@ -259,23 +272,31 @@ func measure(w Workload, opts Options) (LayerResult, error) {
 // coldCompile times the full compile pipeline for VGG-13 on the paper's
 // 512×512 array with a fresh engine per iteration — the server's cold
 // /v1/compile path — under the pruned and exhaustive searches.
-func coldCompile(opts Options) (ColdCompileResult, error) {
+func coldCompile(ctx context.Context, opts Options) (ColdCompileResult, error) {
 	net := model.VGG13()
 	a := core.Array{Rows: 512, Cols: 512}
+	req := compile.NewRequest(net, a, compile.Options{})
+	// The timed iterations deliberately run under context.Background(): a
+	// deadline firing inside a timing loop would corrupt the measurement
+	// anyway, so the caller's ctx gates between loops instead.
 	run := func(engOpts ...engine.Option) func() {
 		return func() {
 			comp := compile.New(engine.New(engOpts...))
-			if _, err := comp.Compile(net, a, compile.Options{}); err != nil {
+			if _, err := comp.Compile(context.Background(), req); err != nil {
 				panic(err) // unreachable: VGG-13 on 512x512 always compiles
 			}
 		}
 	}
-	// Fail fast (with an error, not a panic) if the pipeline is broken.
-	if _, err := compile.New(engine.New()).Compile(net, a, compile.Options{}); err != nil {
+	// Fail fast (with an error, not a panic) if the pipeline is broken or
+	// the deadline already passed.
+	if _, err := compile.New(engine.New()).Compile(ctx, req); err != nil {
 		return ColdCompileResult{}, fmt.Errorf("bench: cold compile: %w", err)
 	}
 	out := ColdCompileResult{Network: net.Name, Array: a.String()}
 	out.NsPerOp, out.AllocsPerOp, _ = timeIt(opts, run())
+	if err := ctx.Err(); err != nil {
+		return ColdCompileResult{}, err
+	}
 	out.ExhaustiveNsPerOp, _, _ = timeIt(opts, run(engine.WithExhaustiveSearch()))
 	if out.NsPerOp > 0 {
 		out.SpeedupVsExhaustive = round1(float64(out.ExhaustiveNsPerOp) / float64(out.NsPerOp))

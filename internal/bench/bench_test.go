@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -47,7 +48,7 @@ func TestStandardWorkloads(t *testing.T) {
 // TestRunOnce runs the harness in smoke mode on a filtered slice and checks
 // the report's candidate accounting against the core search directly.
 func TestRunOnce(t *testing.T) {
-	rep, err := Run(Options{Once: true, Filter: "VGG-13/conv9@512x512"})
+	rep, err := Run(context.Background(), Options{Once: true, Filter: "VGG-13/conv9@512x512"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestRunOnce(t *testing.T) {
 // TestRunStressSkipsExhaustiveTiming pins that stress workloads report the
 // analytic exhaustive candidate count but never time the brute-force sweep.
 func TestRunStressSkipsExhaustiveTiming(t *testing.T) {
-	rep, err := Run(Options{Once: true, Filter: "stress/hd-512@512x512"})
+	rep, err := Run(context.Background(), Options{Once: true, Filter: "stress/hd-512@512x512"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,9 +20,17 @@
 // searching. Options selects the mapping scheme, the VW-SDK ablation
 // variant, the chip size and the peripheral model, so one Compile call
 // covers every ablation the repository evaluates.
+//
+// A compilation is described by the canonical Request{Network, Array,
+// Options} — the one type shared by the vwsdk facade, the CLI flags and
+// vwsdkd's HTTP bodies — and runs under a context.Context: Compile threads
+// the context into every layer search, whose loops run cooperative
+// cancellation checkpoints, so cancelling the context actually stops the
+// work mid-search instead of letting it run to completion.
 package compile
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -114,6 +122,42 @@ func (o Options) normalized() Options {
 	return o
 }
 
+// Request is the canonical description of one compilation: which network,
+// on which crossbar geometry, under which options. It is the single request
+// type shared by every entry point — Compiler.Compile consumes it, Key
+// derives the canonical cache key from it, the vwsdk facade re-exports it,
+// cmd/vwsdk builds one from its flags and internal/server resolves HTTP
+// bodies into it — replacing the three loose (network, array, options)
+// parameter triples those layers used to pass around.
+type Request struct {
+	// Network is the CNN to compile.
+	Network model.Network
+
+	// Array is the PIM crossbar geometry.
+	Array core.Array
+
+	// Options configures the compilation; the zero value compiles the full
+	// VW-SDK search for a single-array chip.
+	Options Options
+}
+
+// NewRequest assembles a Request from its parts.
+func NewRequest(n model.Network, a core.Array, opts Options) Request {
+	return Request{Network: n, Array: a, Options: opts}
+}
+
+// Validate checks the request the way Compile would: network, array and
+// energy model must all be individually valid.
+func (r Request) Validate() error {
+	if err := r.Network.Validate(); err != nil {
+		return err
+	}
+	if err := r.Array.Validate(); err != nil {
+		return err
+	}
+	return r.Options.normalized().Energy.Validate()
+}
+
 // LayerPlan is one layer of a compiled network.
 type LayerPlan struct {
 	// Layer is the compiled layer with its occurrence count.
@@ -160,15 +204,14 @@ type Totals struct {
 
 // NetworkPlan is a compiled network: per-layer decisions plus totals. Build
 // one with Compiler.Compile; serialize it with ToJSON / FromJSON.
+//
+// The embedded Request records what was compiled (network, array, options
+// with defaults applied); its fields are promoted, so the serialized form —
+// Network, Array, Options, Layers, Totals — is unchanged from when the plan
+// carried the three fields directly.
 type NetworkPlan struct {
-	// Network is the compiled network specification.
-	Network model.Network
-
-	// Array is the crossbar geometry the network was compiled for.
-	Array core.Array
-
-	// Options records the compilation options (with defaults applied).
-	Options Options
+	// Request is the compilation request this plan answers.
+	Request
 
 	// Layers holds one plan per network layer, in network order.
 	Layers []LayerPlan
@@ -197,20 +240,23 @@ func New(s core.Searcher) *Compiler {
 func (c *Compiler) Searcher() core.Searcher { return c.s }
 
 // search runs the option-selected mapping search for one layer.
-func (c *Compiler) search(l core.Layer, a core.Array, opts Options) (core.Result, error) {
+func (c *Compiler) search(ctx context.Context, l core.Layer, a core.Array, opts Options) (core.Result, error) {
 	switch opts.Scheme {
 	case Im2col:
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
 		m, err := core.Im2col(l, a)
 		if err != nil {
 			return core.Result{}, err
 		}
 		return core.Result{Best: m, Im2col: m}, nil
 	case SMD:
-		return c.s.SearchSMD(l, a)
+		return c.s.SearchSMD(ctx, l, a)
 	case SDK:
-		return c.s.SearchSDK(l, a)
+		return c.s.SearchSDK(ctx, l, a)
 	case VWSDK:
-		return c.s.SearchVariant(l, a, opts.Variant)
+		return c.s.SearchVariant(ctx, l, a, opts.Variant)
 	default:
 		return core.Result{}, fmt.Errorf("compile: unknown scheme %v", opts.Scheme)
 	}
@@ -218,9 +264,9 @@ func (c *Compiler) search(l core.Layer, a core.Array, opts Options) (core.Result
 
 // compileLayer runs the full per-layer pipeline: search, then schedule,
 // energy and (optionally) the physical plan as soon as the search returns.
-func (c *Compiler) compileLayer(cl model.ConvLayer, a core.Array, opts Options) (LayerPlan, error) {
+func (c *Compiler) compileLayer(ctx context.Context, cl model.ConvLayer, a core.Array, opts Options) (LayerPlan, error) {
 	lp := LayerPlan{Layer: cl}
-	res, err := c.search(cl.Layer, a, opts)
+	res, err := c.search(ctx, cl.Layer, a, opts)
 	if err != nil {
 		return LayerPlan{}, err
 	}
@@ -239,30 +285,35 @@ func (c *Compiler) compileLayer(cl model.ConvLayer, a core.Array, opts Options) 
 	return lp, nil
 }
 
-// Compile compiles network n for array a under opts. Layer pipelines run
-// concurrently (searches fan out through the compiler's searcher; scheduling,
-// energy and planning stream per layer as searches complete); results are
-// returned in layer order and the first error in layer order wins.
-func (c *Compiler) Compile(n model.Network, a core.Array, opts Options) (*NetworkPlan, error) {
+// Compile compiles req.Network for req.Array under req.Options. Layer
+// pipelines run concurrently (searches fan out through the compiler's
+// searcher; scheduling, energy and planning stream per layer as searches
+// complete); results are returned in layer order and the first error in
+// layer order wins.
+//
+// Cancelling ctx aborts the compilation: every in-flight layer search stops
+// at its next cancellation checkpoint and Compile returns an error wrapping
+// ctx.Err(). No partial plan is returned.
+func (c *Compiler) Compile(ctx context.Context, req Request) (*NetworkPlan, error) {
+	n, a := req.Network, req.Array
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	opts = opts.normalized()
-	if err := opts.Energy.Validate(); err != nil {
+	req.Options = req.Options.normalized()
+	if err := req.Options.Energy.Validate(); err != nil {
 		return nil, err
 	}
-	p := &NetworkPlan{Network: n, Array: a, Options: opts,
-		Layers: make([]LayerPlan, len(n.Layers))}
+	p := &NetworkPlan{Request: req, Layers: make([]LayerPlan, len(n.Layers))}
 	errs := make([]error, len(n.Layers))
 	var wg sync.WaitGroup
 	for i, cl := range n.Layers {
 		wg.Add(1)
 		go func(i int, cl model.ConvLayer) {
 			defer wg.Done()
-			p.Layers[i], errs[i] = c.compileLayer(cl, a, opts)
+			p.Layers[i], errs[i] = c.compileLayer(ctx, cl, a, req.Options)
 		}(i, cl)
 	}
 	wg.Wait()
@@ -277,8 +328,8 @@ func (c *Compiler) Compile(n model.Network, a core.Array, opts Options) (*Networ
 
 // CompileLayer compiles a single layer (wrapped as a one-layer network) and
 // returns its LayerPlan.
-func (c *Compiler) CompileLayer(l core.Layer, a core.Array, opts Options) (LayerPlan, error) {
-	p, err := c.Compile(model.Single(l), a, opts)
+func (c *Compiler) CompileLayer(ctx context.Context, l core.Layer, a core.Array, opts Options) (LayerPlan, error) {
+	p, err := c.Compile(ctx, NewRequest(model.Single(l), a, opts))
 	if err != nil {
 		return LayerPlan{}, err
 	}

@@ -1,6 +1,7 @@
 package compile
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -14,6 +15,9 @@ import (
 
 var array512 = core.Array{Rows: 512, Cols: 512}
 
+// bg is the context every non-cancellation test compiles under.
+var bg = context.Background()
+
 // TestCompileMatchesHandWiredPath is the acceptance differential test: a
 // Compile of VGG-13 (and ResNet-18) on the paper's array must be
 // bit-identical to the pre-pipeline path — core.SearchNetwork for the
@@ -23,7 +27,7 @@ func TestCompileMatchesHandWiredPath(t *testing.T) {
 	c := New(engine.New())
 	for _, n := range []model.Network{model.VGG13(), model.ResNet18()} {
 		for _, nArrays := range []int{1, 8} {
-			p, err := c.Compile(n, array512, Options{Arrays: nArrays})
+			p, err := c.Compile(bg, NewRequest(n, array512, Options{Arrays: nArrays}))
 			if err != nil {
 				t.Fatalf("%s: %v", n.Name, err)
 			}
@@ -89,7 +93,7 @@ func TestCompileSchemes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lp, err := c.CompileLayer(l, array512, Options{Scheme: tc.scheme})
+		lp, err := c.CompileLayer(bg, l, array512, Options{Scheme: tc.scheme})
 		if err != nil {
 			t.Fatalf("%v: %v", tc.scheme, err)
 		}
@@ -97,7 +101,7 @@ func TestCompileSchemes(t *testing.T) {
 			t.Errorf("%v: search differs\ncompile %+v\nserial  %+v", tc.scheme, lp.Search, want)
 		}
 	}
-	if _, err := c.CompileLayer(l, array512, Options{Scheme: Scheme(42)}); err == nil ||
+	if _, err := c.CompileLayer(bg, l, array512, Options{Scheme: Scheme(42)}); err == nil ||
 		!strings.Contains(err.Error(), "unknown scheme") {
 		t.Errorf("unknown scheme accepted: %v", err)
 	}
@@ -112,7 +116,7 @@ func TestCompileVariants(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lp, err := c.CompileLayer(l, array512, Options{Variant: v})
+		lp, err := c.CompileLayer(bg, l, array512, Options{Variant: v})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +139,7 @@ func TestCompileScheduleEnergyInteraction(t *testing.T) {
 	// (sequential-rounds path).
 	n := model.VGG13()
 	const nArrays = 4
-	p, err := c.Compile(n, array512, Options{Arrays: nArrays})
+	p, err := c.Compile(bg, NewRequest(n, array512, Options{Arrays: nArrays}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +193,7 @@ func TestCompileScheduleEnergyInteraction(t *testing.T) {
 func TestCompileOptionDefaults(t *testing.T) {
 	c := New(core.Serial{})
 	l := core.Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64}
-	p, err := c.Compile(model.Single(l), array512, Options{})
+	p, err := c.Compile(bg, NewRequest(model.Single(l), array512, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +210,7 @@ func TestCompileOptionDefaults(t *testing.T) {
 		t.Error("plan built without Options.Plans")
 	}
 
-	gated, err := c.Compile(model.Single(l), array512, Options{GatePeripherals: true})
+	gated, err := c.Compile(bg, NewRequest(model.Single(l), array512, Options{GatePeripherals: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +222,7 @@ func TestCompileOptionDefaults(t *testing.T) {
 			gated.Totals.Energy.EnergyTotal, p.Totals.Energy.EnergyTotal)
 	}
 
-	planned, err := c.Compile(model.Single(l), array512, Options{Plans: true})
+	planned, err := c.Compile(bg, NewRequest(model.Single(l), array512, Options{Plans: true}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,14 +235,14 @@ func TestCompileOptionDefaults(t *testing.T) {
 // energy models and infeasible layers, with the failing layer named.
 func TestCompileErrors(t *testing.T) {
 	c := New(core.Serial{})
-	if _, err := c.Compile(model.Network{Name: "empty"}, array512, Options{}); err == nil {
+	if _, err := c.Compile(bg, NewRequest(model.Network{Name: "empty"}, array512, Options{})); err == nil {
 		t.Error("empty network accepted")
 	}
-	if _, err := c.Compile(model.VGG13(), core.Array{}, Options{}); err == nil {
+	if _, err := c.Compile(bg, NewRequest(model.VGG13(), core.Array{}, Options{})); err == nil {
 		t.Error("invalid array accepted")
 	}
 	bad := energy.Model{}
-	if _, err := c.Compile(model.VGG13(), array512, Options{Energy: &bad}); err == nil {
+	if _, err := c.Compile(bg, NewRequest(model.VGG13(), array512, Options{Energy: &bad})); err == nil {
 		t.Error("invalid energy model accepted")
 	}
 	// A kernel larger than the IFM fails layer validation inside the search;
@@ -246,7 +250,7 @@ func TestCompileErrors(t *testing.T) {
 	// reject it up front, so build the network by hand.
 	huge := core.Layer{Name: "huge", IW: 8, IH: 8, KW: 16, KH: 16, IC: 1, OC: 1}
 	net := model.Network{Name: "bad", Layers: []model.ConvLayer{{Layer: huge, Count: 1}}}
-	if _, err := c.Compile(net, core.Array{Rows: 8, Cols: 8}, Options{}); err == nil ||
+	if _, err := c.Compile(bg, NewRequest(net, core.Array{Rows: 8, Cols: 8}, Options{})); err == nil ||
 		!strings.Contains(err.Error(), "huge") {
 		t.Errorf("invalid layer error should name the layer, got %v", err)
 	}
@@ -259,11 +263,11 @@ func TestCompilerSharedAcrossOptions(t *testing.T) {
 	eng := engine.New()
 	c := New(eng)
 	n := model.ResNet18()
-	if _, err := c.Compile(n, array512, Options{}); err != nil {
+	if _, err := c.Compile(bg, NewRequest(n, array512, Options{})); err != nil {
 		t.Fatal(err)
 	}
 	before := eng.Stats()
-	if _, err := c.Compile(n, array512, Options{Arrays: 16, GatePeripherals: true}); err != nil {
+	if _, err := c.Compile(bg, NewRequest(n, array512, Options{Arrays: 16, GatePeripherals: true})); err != nil {
 		t.Fatal(err)
 	}
 	after := eng.Stats()
@@ -282,7 +286,7 @@ func TestNewNilSearcher(t *testing.T) {
 	if c.Searcher() == nil {
 		t.Fatal("nil searcher not defaulted")
 	}
-	if _, err := c.CompileLayer(core.Layer{Name: "c", IW: 8, IH: 8, KW: 3, KH: 3, IC: 2, OC: 2},
+	if _, err := c.CompileLayer(bg, core.Layer{Name: "c", IW: 8, IH: 8, KW: 3, KH: 3, IC: 2, OC: 2},
 		core.Array{Rows: 64, Cols: 64}, Options{}); err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package compile
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -20,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // -run Golden -update.
 func TestNetworkPlanJSONGolden(t *testing.T) {
 	c := New(core.Serial{})
-	p, err := c.Compile(model.VGG13(), array512, Options{})
+	p, err := c.Compile(context.Background(), NewRequest(model.VGG13(), array512, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,8 +71,8 @@ func TestNetworkPlanJSONGolden(t *testing.T) {
 // the totals against the per-layer entries.
 func TestFromJSONRejectsCorruptTotals(t *testing.T) {
 	c := New(core.Serial{})
-	p, err := c.Compile(model.Single(core.Layer{
-		Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64}), array512, Options{})
+	p, err := c.Compile(context.Background(), NewRequest(model.Single(core.Layer{
+		Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64}), array512, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}

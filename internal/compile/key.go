@@ -9,22 +9,22 @@ import (
 	"repro/internal/model"
 )
 
-// Key returns the canonical cache key of one compilation: two calls with the
-// same key would produce equivalent plans, so long-lived services can
-// memoize Compile on it. The network is folded through its canonical spec
-// serialization (model.ToJSON) — layer shorthands, omitted strides and
-// occurrence-count defaults collapse — and the options are keyed with
-// defaults applied, so a zero Options and an explicitly defaulted one
+// Key returns the canonical cache key of one compilation request: two
+// requests with the same key would produce equivalent plans, so long-lived
+// services can memoize Compile on it. The network is folded through its
+// canonical spec serialization (model.ToJSON) — layer shorthands, omitted
+// strides and occurrence-count defaults collapse — and the options are keyed
+// with defaults applied, so a zero Options and an explicitly defaulted one
 // collide. Key fails only on inputs Compile itself would reject.
-func Key(n model.Network, a core.Array, opts Options) (string, error) {
-	spec, err := model.ToJSON(n)
+func Key(req Request) (string, error) {
+	spec, err := model.ToJSON(req.Network)
 	if err != nil {
 		return "", err
 	}
-	if err := a.Validate(); err != nil {
+	if err := req.Array.Validate(); err != nil {
 		return "", err
 	}
-	opts = opts.normalized()
+	opts := req.Options.normalized()
 	// GatePeripherals is already folded into the energy model by
 	// normalized(), but keying the flag too keeps the key stable if that
 	// folding ever changes.
@@ -37,7 +37,7 @@ func Key(n model.Network, a core.Array, opts Options) (string, error) {
 		Energy          energy.Model    `json:"energy"`
 		GatePeripherals bool            `json:"gate_peripherals"`
 		Plans           bool            `json:"plans"`
-	}{spec, a, opts.Scheme, opts.Variant, opts.Arrays, *opts.Energy, opts.GatePeripherals, opts.Plans}
+	}{spec, req.Array, opts.Scheme, opts.Variant, opts.Arrays, *opts.Energy, opts.GatePeripherals, opts.Plans}
 	data, err := json.Marshal(k)
 	if err != nil {
 		return "", fmt.Errorf("compile: marshal cache key: %w", err)

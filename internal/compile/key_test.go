@@ -14,14 +14,14 @@ import (
 // and every dimension that changes the plan separates keys.
 func TestKeyCanonicalizes(t *testing.T) {
 	n := model.VGG13()
-	base, err := Key(n, array512, Options{})
+	base, err := Key(NewRequest(n, array512, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	// Explicitly spelling out the defaults must not change the key.
 	m := energy.Default()
-	same, err := Key(n, array512, Options{Scheme: VWSDK, Variant: core.VariantFull, Arrays: 1, Energy: &m})
+	same, err := Key(NewRequest(n, array512, Options{Scheme: VWSDK, Variant: core.VariantFull, Arrays: 1, Energy: &m}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestKeyCanonicalizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	roundTripped, err := Key(back, array512, Options{})
+	roundTripped, err := Key(NewRequest(back, array512, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestKeyCanonicalizes(t *testing.T) {
 		"gated":   {GatePeripherals: true},
 		"plans":   {Plans: true},
 	} {
-		k, err := Key(n, array512, opts)
+		k, err := Key(NewRequest(n, array512, opts))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,14 +63,14 @@ func TestKeyCanonicalizes(t *testing.T) {
 			t.Errorf("%s: key did not change", name)
 		}
 	}
-	other, err := Key(model.ResNet18(), array512, Options{})
+	other, err := Key(NewRequest(model.ResNet18(), array512, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if other == base {
 		t.Error("different networks share a key")
 	}
-	smaller, err := Key(n, core.Array{Rows: 256, Cols: 256}, Options{})
+	smaller, err := Key(NewRequest(n, core.Array{Rows: 256, Cols: 256}, Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,10 +82,10 @@ func TestKeyCanonicalizes(t *testing.T) {
 // TestKeyRejectsInvalid pins that Key fails on the same inputs Compile
 // rejects instead of minting keys for uncompilable requests.
 func TestKeyRejectsInvalid(t *testing.T) {
-	if _, err := Key(model.Network{Name: "empty"}, array512, Options{}); err == nil {
+	if _, err := Key(NewRequest(model.Network{Name: "empty"}, array512, Options{})); err == nil {
 		t.Error("empty network accepted")
 	}
-	if _, err := Key(model.VGG13(), core.Array{}, Options{}); err == nil ||
+	if _, err := Key(NewRequest(model.VGG13(), core.Array{}, Options{})); err == nil ||
 		!strings.Contains(err.Error(), "array") {
 		t.Errorf("zero array accepted or unclear error: %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -25,28 +26,44 @@ func (n NetworkResult) Speedup() float64 {
 	return float64(n.TotalIm2col) / float64(n.TotalCycles)
 }
 
+// LayerSearch is one per-layer mapping search under a caller context — the
+// pluggable unit SearchNetworkWith aggregates. Both the serial algorithms
+// (SearchVWSDKContext and friends) and the engine's memoized methods have
+// this shape.
+type LayerSearch func(ctx context.Context, l Layer, a Array) (Result, error)
+
 // SearchNetwork runs SearchVWSDK on every layer concurrently (layer
 // searches are independent) and aggregates the totals. Results are returned
 // in layer order regardless of completion order; the first error wins.
+// SearchNetworkContext is the same aggregation under a caller context.
 func SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
-	return SearchNetworkWith(layers, a, SearchVWSDK)
+	return SearchNetworkContext(context.Background(), layers, a)
 }
 
-// SearchNetworkWith is SearchNetwork with a caller-chosen per-layer search
-// running one goroutine per layer; internal/engine aggregates its pooled
-// searches through the same loop so the two paths cannot diverge.
-func SearchNetworkWith(layers []Layer, a Array, search func(Layer, Array) (Result, error)) (NetworkResult, error) {
-	return searchNetwork(layers, a, search, true)
+// SearchNetworkContext optimizes every layer under ctx: each per-layer
+// search runs its own cancellation checkpoints, so cancelling ctx stops the
+// whole network search within one candidate row per in-flight layer.
+func SearchNetworkContext(ctx context.Context, layers []Layer, a Array) (NetworkResult, error) {
+	return SearchNetworkWith(ctx, layers, a, SearchVWSDKContext)
+}
+
+// SearchNetworkWith is SearchNetworkContext with a caller-chosen per-layer
+// search running one goroutine per layer; internal/engine aggregates its
+// pooled searches through the same loop so the two paths cannot diverge.
+func SearchNetworkWith(ctx context.Context, layers []Layer, a Array, search LayerSearch) (NetworkResult, error) {
+	return searchNetwork(ctx, layers, a, search, true)
 }
 
 // SearchNetworkSeq is SearchNetworkWith without the per-layer goroutines,
 // for callers that already serialize work (e.g. a single-worker engine,
-// where goroutine-per-layer only adds scheduler churn).
-func SearchNetworkSeq(layers []Layer, a Array, search func(Layer, Array) (Result, error)) (NetworkResult, error) {
-	return searchNetwork(layers, a, search, false)
+// where goroutine-per-layer only adds scheduler churn). A cancelled ctx
+// additionally short-circuits between layers, so later layers are never
+// started at all.
+func SearchNetworkSeq(ctx context.Context, layers []Layer, a Array, search LayerSearch) (NetworkResult, error) {
+	return searchNetwork(ctx, layers, a, search, false)
 }
 
-func searchNetwork(layers []Layer, a Array, search func(Layer, Array) (Result, error), parallel bool) (NetworkResult, error) {
+func searchNetwork(ctx context.Context, layers []Layer, a Array, search LayerSearch, parallel bool) (NetworkResult, error) {
 	if len(layers) == 0 {
 		return NetworkResult{}, fmt.Errorf("core: SearchNetwork with no layers")
 	}
@@ -58,13 +75,17 @@ func searchNetwork(layers []Layer, a Array, search func(Layer, Array) (Result, e
 			wg.Add(1)
 			go func(i int, l Layer) {
 				defer wg.Done()
-				results[i], errs[i] = search(l, a)
+				results[i], errs[i] = search(ctx, l, a)
 			}(i, l)
 		}
 		wg.Wait()
 	} else {
 		for i, l := range layers {
-			results[i], errs[i] = search(l, a)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i], errs[i] = search(ctx, l, a)
 		}
 	}
 	var out NetworkResult

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -32,6 +33,13 @@ type Result struct {
 // SpeedupVsIm2col returns how many times faster Best is than im2col.
 func (r Result) SpeedupVsIm2col() float64 { return r.Best.Speedup(r.Im2col) }
 
+// checkpoint is the cooperative cancellation check the search loops run once
+// per candidate row: it returns the context's error once the context is
+// cancelled or past its deadline, and nil otherwise. Row granularity keeps
+// the overhead to one atomic load per O(√Cols) costed classes while bounding
+// the work after a cancel to a single row of candidates.
+func checkpoint(ctx context.Context) error { return ctx.Err() }
+
 // SearchVWSDK implements Algorithm 1 of the paper: it initializes the
 // minimum computing cycles with the im2col mapping, then considers every
 // parallel-window shape from the kernel size up to the padded IFM size —
@@ -47,8 +55,18 @@ func (r Result) SpeedupVsIm2col() float64 { return r.Best.Speedup(r.Im2col) }
 // including the first-strictly-better tie-break — to the brute-force sweep,
 // which remains available as SearchVWSDKExhaustive for differential and fuzz
 // testing.
+//
+// SearchVWSDK never cancels; SearchVWSDKContext is the same search under a
+// caller context with cooperative cancellation checkpoints.
 func SearchVWSDK(l Layer, a Array) (Result, error) {
-	return searchVWSDKPruned(l.Normalized(), a)
+	return SearchVWSDKContext(context.Background(), l, a)
+}
+
+// SearchVWSDKContext is Algorithm 1 under ctx: the search loop checks for
+// cancellation once per candidate row and returns ctx.Err() as soon as it
+// observes it, so an abandoned request stops burning CPU mid-search.
+func SearchVWSDKContext(ctx context.Context, l Layer, a Array) (Result, error) {
+	return searchVWSDKPruned(ctx, l.Normalized(), a)
 }
 
 // SearchVWSDKExhaustive is the brute-force Algorithm 1 sweep: every
@@ -58,13 +76,21 @@ func SearchVWSDK(l Layer, a Array) (Result, error) {
 // exists as the reference the pruned search is validated against; use
 // SearchVWSDK everywhere else.
 func SearchVWSDKExhaustive(l Layer, a Array) (Result, error) {
-	l = l.Normalized()
+	return searchVWSDKExhaustive(context.Background(), l.Normalized(), a)
+}
+
+// searchVWSDKExhaustive is the brute-force sweep under ctx; l must be
+// normalized. Cancellation is checked once per candidate row.
+func searchVWSDKExhaustive(ctx context.Context, l Layer, a Array) (Result, error) {
 	base, err := Im2col(l, a)
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{Best: base, Im2col: base}
 	for h := l.KH; h <= l.PaddedH(); h++ {
+		if err := checkpoint(ctx); err != nil {
+			return Result{}, err
+		}
 		for w := l.KW; w <= l.PaddedW(); w++ {
 			if w == l.KW && h == l.KH {
 				continue // the im2col seed covers the kernel-sized window
@@ -107,6 +133,12 @@ func SearchVWSDKExhaustive(l Layer, a Array) (Result, error) {
 // When no larger window is feasible the result degenerates to im2col, which
 // is how the paper explains SDK's flat speedup beyond VGG-13 layer 3.
 func SearchSDK(l Layer, a Array) (Result, error) {
+	return SearchSDKContext(context.Background(), l, a)
+}
+
+// SearchSDKContext is SearchSDK under a caller context, checking for
+// cancellation once per candidate window.
+func SearchSDKContext(ctx context.Context, l Layer, a Array) (Result, error) {
 	l = l.Normalized()
 	base, err := Im2col(l, a)
 	if err != nil {
@@ -123,6 +155,9 @@ func SearchSDK(l Layer, a Array) (Result, error) {
 	// with rectangular kernels it wrongly truncated the sweep before the
 	// window reached the padded IFM, discarding valid candidates.)
 	for d := 1; ; d++ {
+		if err := checkpoint(ctx); err != nil {
+			return Result{}, err
+		}
 		pw := Window{W: l.KW + d*l.StrideW, H: l.KH + d*l.StrideH}
 		if pw.W > l.PaddedW() || pw.H > l.PaddedH() {
 			break
@@ -152,6 +187,15 @@ func SearchSDK(l Layer, a Array) (Result, error) {
 // copies fit the array; with no room to duplicate it degenerates to im2col
 // tiling (dup = 1).
 func SearchSMD(l Layer, a Array) (Result, error) {
+	return SearchSMDContext(context.Background(), l, a)
+}
+
+// SearchSMDContext is SearchSMD under a caller context. SMD costs a single
+// candidate, so the context is checked once at entry.
+func SearchSMDContext(ctx context.Context, l Layer, a Array) (Result, error) {
+	if err := checkpoint(ctx); err != nil {
+		return Result{}, err
+	}
 	l = l.Normalized()
 	base, err := Im2col(l, a)
 	if err != nil {
@@ -216,14 +260,20 @@ func (v Variant) String() string {
 // variant runs its breakpoint-pruned enumerator; SearchVariantExhaustive is
 // the brute-force reference.
 func SearchVariant(l Layer, a Array, v Variant) (Result, error) {
+	return SearchVariantContext(context.Background(), l, a, v)
+}
+
+// SearchVariantContext is SearchVariant under a caller context with the same
+// per-row cancellation checkpoints as SearchVWSDKContext.
+func SearchVariantContext(ctx context.Context, l Layer, a Array, v Variant) (Result, error) {
 	l = l.Normalized()
 	switch v {
 	case VariantFull:
-		return searchVWSDKPruned(l, a)
+		return searchVWSDKPruned(ctx, l, a)
 	case VariantSquareTiled:
-		return searchSquareTiledPruned(l, a)
+		return searchSquareTiledPruned(ctx, l, a)
 	case VariantRectFullChannel:
-		return searchRectFullChannelPruned(l, a)
+		return searchRectFullChannelPruned(ctx, l, a)
 	default:
 		return Result{}, fmt.Errorf("core: unknown variant %d", int(v))
 	}
@@ -235,10 +285,15 @@ func SearchVariant(l Layer, a Array, v Variant) (Result, error) {
 // keeps its legacy meaning here — every feasible candidate costed — and
 // always equals Swept.
 func SearchVariantExhaustive(l Layer, a Array, v Variant) (Result, error) {
-	l = l.Normalized()
+	return searchVariantExhaustive(context.Background(), l.Normalized(), a, v)
+}
+
+// searchVariantExhaustive is the brute-force variant sweep under ctx; l must
+// be normalized.
+func searchVariantExhaustive(ctx context.Context, l Layer, a Array, v Variant) (Result, error) {
 	switch v {
 	case VariantFull:
-		return SearchVWSDKExhaustive(l, a)
+		return searchVWSDKExhaustive(ctx, l, a)
 	case VariantSquareTiled:
 		base, err := Im2col(l, a)
 		if err != nil {
@@ -246,6 +301,9 @@ func SearchVariantExhaustive(l Layer, a Array, v Variant) (Result, error) {
 		}
 		res := Result{Best: base, Im2col: base}
 		for d := 1; ; d++ {
+			if err := checkpoint(ctx); err != nil {
+				return Result{}, err
+			}
 			pw := Window{W: l.KW + d*l.StrideW, H: l.KH + d*l.StrideH}
 			if pw.W > l.PaddedW() || pw.H > l.PaddedH() {
 				break
@@ -275,6 +333,9 @@ func SearchVariantExhaustive(l Layer, a Array, v Variant) (Result, error) {
 		}
 		res := Result{Best: base, Im2col: base}
 		for h := l.KH; h <= l.PaddedH(); h++ {
+			if err := checkpoint(ctx); err != nil {
+				return Result{}, err
+			}
 			for w := l.KW; w <= l.PaddedW(); w++ {
 				if w == l.KW && h == l.KH {
 					continue

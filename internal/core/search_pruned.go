@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // This file implements the breakpoint-pruned Algorithm 1 search that
 // SearchVWSDK and SearchVariant run by default. It exploits the structure of
@@ -35,8 +38,9 @@ import "errors"
 // searchVWSDKPruned is the breakpoint-pruned Algorithm 1. l must be
 // normalized. Result.Evaluated counts the cost classes actually costed;
 // Result.Swept counts the feasible candidates the exhaustive sweep costs
-// (the legacy Evaluated), computed analytically.
-func searchVWSDKPruned(l Layer, a Array) (Result, error) {
+// (the legacy Evaluated), computed analytically. The loop checks ctx once
+// per candidate row (the cooperative cancellation checkpoint).
+func searchVWSDKPruned(ctx context.Context, l Layer, a Array) (Result, error) {
 	base, err := Im2col(l, a)
 	if err != nil {
 		return Result{}, err
@@ -45,6 +49,9 @@ func searchVWSDKPruned(l Layer, a Array) (Result, error) {
 	W, H := l.PaddedW(), l.PaddedH()
 	outW := l.OutW()
 	for h := l.KH; h <= H; h++ {
+		if err := checkpoint(ctx); err != nil {
+			return Result{}, err
+		}
 		// Monotone early-exit on the height axis: the narrowest window of
 		// this row is infeasible, and both causes only worsen with h.
 		if l.KW*h > a.Rows {
@@ -134,13 +141,16 @@ func sweptVWSDK(l Layer, a Array) int {
 // infeasible can never become feasible again. Every d changes Nw = (d+1)², so
 // each feasible candidate is its own cost class and Evaluated equals the
 // exhaustive sweep's count.
-func searchSquareTiledPruned(l Layer, a Array) (Result, error) {
+func searchSquareTiledPruned(ctx context.Context, l Layer, a Array) (Result, error) {
 	base, err := Im2col(l, a)
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{Best: base, Im2col: base}
 	for d := 1; ; d++ {
+		if err := checkpoint(ctx); err != nil {
+			return Result{}, err
+		}
 		pw := Window{W: l.KW + d*l.StrideW, H: l.KH + d*l.StrideH}
 		if pw.W > l.PaddedW() || pw.H > l.PaddedH() {
 			break
@@ -170,7 +180,7 @@ func searchSquareTiledPruned(l Layer, a Array) (Result, error) {
 // classes costed; Result.Swept retains the exhaustive count, which for this
 // variant is every enumerated candidate (the serial loop costs before it
 // filters).
-func searchRectFullChannelPruned(l Layer, a Array) (Result, error) {
+func searchRectFullChannelPruned(ctx context.Context, l Layer, a Array) (Result, error) {
 	base, err := Im2col(l, a)
 	if err != nil {
 		return Result{}, err
@@ -180,6 +190,9 @@ func searchRectFullChannelPruned(l Layer, a Array) (Result, error) {
 	W, H := l.PaddedW(), l.PaddedH()
 	outW := l.OutW()
 	for h := l.KH; h <= H; h++ {
+		if err := checkpoint(ctx); err != nil {
+			return Result{}, err
+		}
 		nwH := (h-l.KH)/l.StrideH + 1
 		// Monotone early-exit on the height axis: the narrowest window of
 		// this row already violates the baseline rule, and AR and AC only

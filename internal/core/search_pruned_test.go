@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -111,12 +112,13 @@ func TestExhaustiveCandidatesSquareTiled(t *testing.T) {
 // TestExhaustiveSearcher pins that the Exhaustive reference Searcher agrees
 // with Serial (the pruned default) on a whole-network search.
 func TestExhaustiveSearcher(t *testing.T) {
+	ctx := context.Background()
 	layers := resnet18Shapes()
-	want, err := Serial{}.SearchNetwork(layers, array512)
+	want, err := Serial{}.SearchNetwork(ctx, layers, array512)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Exhaustive{}.SearchNetwork(layers, array512)
+	got, err := Exhaustive{}.SearchNetwork(ctx, layers, array512)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,12 +131,12 @@ func TestExhaustiveSearcher(t *testing.T) {
 			t.Errorf("layer %d: Best differs", i)
 		}
 	}
-	for _, pair := range [][2]func(Layer, Array) (Result, error){
+	for _, pair := range [][2]func(context.Context, Layer, Array) (Result, error){
 		{Serial{}.SearchSDK, Exhaustive{}.SearchSDK},
 		{Serial{}.SearchSMD, Exhaustive{}.SearchSMD},
 	} {
-		w, err1 := pair[0](layers[0], array512)
-		g, err2 := pair[1](layers[0], array512)
+		w, err1 := pair[0](ctx, layers[0], array512)
+		g, err2 := pair[1](ctx, layers[0], array512)
 		if err1 != nil || err2 != nil {
 			t.Fatal(err1, err2)
 		}

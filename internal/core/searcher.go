@@ -1,16 +1,23 @@
 package core
 
+import "context"
+
 // Searcher is the set of mapping searches shared by the serial reference
 // implementation (Serial) and the concurrent, memoizing engine
-// (internal/engine). Experiment generators and the CLIs accept a Searcher so
-// callers choose the execution strategy; both implementations return
-// bit-identical results.
+// (internal/engine). Experiment generators, the compile pipeline and the
+// CLIs accept a Searcher so callers choose the execution strategy; both
+// implementations return bit-identical results.
+//
+// Every method is context-first: the search loops run cooperative
+// cancellation checkpoints (once per candidate row), so a cancelled or
+// expired context actually stops the work instead of letting it run to
+// completion. Pass context.Background() when cancellation is not needed.
 type Searcher interface {
-	SearchVWSDK(l Layer, a Array) (Result, error)
-	SearchSDK(l Layer, a Array) (Result, error)
-	SearchSMD(l Layer, a Array) (Result, error)
-	SearchVariant(l Layer, a Array, v Variant) (Result, error)
-	SearchNetwork(layers []Layer, a Array) (NetworkResult, error)
+	SearchVWSDK(ctx context.Context, l Layer, a Array) (Result, error)
+	SearchSDK(ctx context.Context, l Layer, a Array) (Result, error)
+	SearchSMD(ctx context.Context, l Layer, a Array) (Result, error)
+	SearchVariant(ctx context.Context, l Layer, a Array, v Variant) (Result, error)
+	SearchNetwork(ctx context.Context, layers []Layer, a Array) (NetworkResult, error)
 }
 
 // Serial is the Searcher backed directly by this package's single-threaded
@@ -18,22 +25,28 @@ type Searcher interface {
 type Serial struct{}
 
 // SearchVWSDK runs Algorithm 1 serially.
-func (Serial) SearchVWSDK(l Layer, a Array) (Result, error) { return SearchVWSDK(l, a) }
+func (Serial) SearchVWSDK(ctx context.Context, l Layer, a Array) (Result, error) {
+	return SearchVWSDKContext(ctx, l, a)
+}
 
 // SearchSDK runs the SDK baseline search serially.
-func (Serial) SearchSDK(l Layer, a Array) (Result, error) { return SearchSDK(l, a) }
+func (Serial) SearchSDK(ctx context.Context, l Layer, a Array) (Result, error) {
+	return SearchSDKContext(ctx, l, a)
+}
 
 // SearchSMD runs the SMD baseline search serially.
-func (Serial) SearchSMD(l Layer, a Array) (Result, error) { return SearchSMD(l, a) }
+func (Serial) SearchSMD(ctx context.Context, l Layer, a Array) (Result, error) {
+	return SearchSMDContext(ctx, l, a)
+}
 
 // SearchVariant runs an ablated search serially.
-func (Serial) SearchVariant(l Layer, a Array, v Variant) (Result, error) {
-	return SearchVariant(l, a, v)
+func (Serial) SearchVariant(ctx context.Context, l Layer, a Array, v Variant) (Result, error) {
+	return SearchVariantContext(ctx, l, a, v)
 }
 
 // SearchNetwork optimizes every layer and sums the totals.
-func (Serial) SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
-	return SearchNetwork(layers, a)
+func (Serial) SearchNetwork(ctx context.Context, layers []Layer, a Array) (NetworkResult, error) {
+	return SearchNetworkContext(ctx, layers, a)
 }
 
 // Exhaustive is the Searcher backed by the brute-force sweeps
@@ -44,23 +57,29 @@ func (Serial) SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
 type Exhaustive struct{}
 
 // SearchVWSDK runs the brute-force Algorithm 1 sweep.
-func (Exhaustive) SearchVWSDK(l Layer, a Array) (Result, error) {
-	return SearchVWSDKExhaustive(l, a)
+func (Exhaustive) SearchVWSDK(ctx context.Context, l Layer, a Array) (Result, error) {
+	return searchVWSDKExhaustive(ctx, l.Normalized(), a)
 }
 
 // SearchSDK runs the SDK baseline search (no exhaustive split).
-func (Exhaustive) SearchSDK(l Layer, a Array) (Result, error) { return SearchSDK(l, a) }
+func (Exhaustive) SearchSDK(ctx context.Context, l Layer, a Array) (Result, error) {
+	return SearchSDKContext(ctx, l, a)
+}
 
 // SearchSMD runs the SMD baseline search (no exhaustive split).
-func (Exhaustive) SearchSMD(l Layer, a Array) (Result, error) { return SearchSMD(l, a) }
+func (Exhaustive) SearchSMD(ctx context.Context, l Layer, a Array) (Result, error) {
+	return SearchSMDContext(ctx, l, a)
+}
 
 // SearchVariant runs a brute-force ablated sweep.
-func (Exhaustive) SearchVariant(l Layer, a Array, v Variant) (Result, error) {
-	return SearchVariantExhaustive(l, a, v)
+func (Exhaustive) SearchVariant(ctx context.Context, l Layer, a Array, v Variant) (Result, error) {
+	return searchVariantExhaustive(ctx, l.Normalized(), a, v)
 }
 
 // SearchNetwork optimizes every layer with the brute-force sweep and sums
 // the totals.
-func (Exhaustive) SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
-	return SearchNetworkWith(layers, a, SearchVWSDKExhaustive)
+func (Exhaustive) SearchNetwork(ctx context.Context, layers []Layer, a Array) (NetworkResult, error) {
+	return SearchNetworkWith(ctx, layers, a, func(ctx context.Context, l Layer, a Array) (Result, error) {
+		return searchVWSDKExhaustive(ctx, l.Normalized(), a)
+	})
 }

@@ -14,6 +14,12 @@
 // shrink to the result itself. WithExhaustiveSearch switches an engine to
 // the brute-force core sweeps for differential testing and benchmarking.
 //
+// Every method is context-first: cancellation propagates into the worker
+// pool (a search waiting for a slot gives the slot up), into in-flight
+// dedupe waits, and into the search loops themselves via the core package's
+// per-row checkpoints — so a cancelled caller actually stops burning CPU.
+// Cancelled searches are never cached.
+//
 // Results are bit-identical to the serial algorithms in internal/core:
 // every cached result is replayed with only the caller's layer name
 // re-stamped, and differential tests assert equality on every predefined
@@ -24,6 +30,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +49,11 @@ type Engine struct {
 
 	mu     sync.Mutex
 	flight map[cacheKey]*call // in-flight searches, for duplicate suppression
+
+	// sweepCellHook, when non-nil, observes every sweep cell index just
+	// before its dispatch check. Tests use it to cancel a context at a
+	// deterministic point mid-sweep; it is never set in production.
+	sweepCellHook func(i int)
 
 	searches atomic.Uint64
 	hits     atomic.Uint64
@@ -118,7 +130,8 @@ type Stats struct {
 	// an identical in-flight search.
 	CacheHits uint64
 
-	// CacheMisses counts searches that ran the underlying algorithm.
+	// CacheMisses counts searches that ran the underlying algorithm
+	// (including searches that were then cancelled mid-run).
 	CacheMisses uint64
 
 	// FlightDedupes counts searches that joined an identical in-flight
@@ -162,39 +175,39 @@ func (e *Engine) Stats() Stats {
 
 // SearchVWSDK runs Algorithm 1 (the optimal parallel-window search) under
 // the cache and worker pool; bit-identical to core.SearchVWSDK.
-func (e *Engine) SearchVWSDK(l core.Layer, a core.Array) (core.Result, error) {
-	return e.SearchVariant(l, a, core.VariantFull)
+func (e *Engine) SearchVWSDK(ctx context.Context, l core.Layer, a core.Array) (core.Result, error) {
+	return e.SearchVariant(ctx, l, a, core.VariantFull)
 }
 
 // SearchSDK runs the square-window SDK baseline search; bit-identical to
 // core.SearchSDK.
-func (e *Engine) SearchSDK(l core.Layer, a core.Array) (core.Result, error) {
-	return e.memoized(newCacheKey(l, a, kindSDK, 0), l.Name, func() (core.Result, error) {
-		return e.withSlot(func() (core.Result, error) { return core.SearchSDK(l, a) })
+func (e *Engine) SearchSDK(ctx context.Context, l core.Layer, a core.Array) (core.Result, error) {
+	return e.memoized(ctx, newCacheKey(l, a, kindSDK, 0), l.Name, func(ctx context.Context) (core.Result, error) {
+		return e.withSlot(ctx, func() (core.Result, error) { return core.SearchSDKContext(ctx, l, a) })
 	})
 }
 
 // SearchSMD runs the sub-matrix-duplication baseline search (a single costed
 // mapping) under the cache; bit-identical to core.SearchSMD.
-func (e *Engine) SearchSMD(l core.Layer, a core.Array) (core.Result, error) {
-	return e.memoized(newCacheKey(l, a, kindSMD, 0), l.Name, func() (core.Result, error) {
-		return e.withSlot(func() (core.Result, error) { return core.SearchSMD(l, a) })
+func (e *Engine) SearchSMD(ctx context.Context, l core.Layer, a core.Array) (core.Result, error) {
+	return e.memoized(ctx, newCacheKey(l, a, kindSMD, 0), l.Name, func(ctx context.Context) (core.Result, error) {
+		return e.withSlot(ctx, func() (core.Result, error) { return core.SearchSMDContext(ctx, l, a) })
 	})
 }
 
 // SearchVariant runs an ablated VW-SDK search; bit-identical to
 // core.SearchVariant. VariantFull shares cache entries with SearchVWSDK.
-func (e *Engine) SearchVariant(l core.Layer, a core.Array, v core.Variant) (core.Result, error) {
+func (e *Engine) SearchVariant(ctx context.Context, l core.Layer, a core.Array, v core.Variant) (core.Result, error) {
 	k := newCacheKey(l, a, kindVariant, v)
 	if v == core.VariantFull {
 		k = newCacheKey(l, a, kindVWSDK, 0)
 	}
-	return e.memoized(k, l.Name, func() (core.Result, error) {
-		return e.withSlot(func() (core.Result, error) {
+	return e.memoized(ctx, k, l.Name, func(ctx context.Context) (core.Result, error) {
+		return e.withSlot(ctx, func() (core.Result, error) {
 			if e.exhaustive {
-				return core.SearchVariantExhaustive(l, a, v)
+				return core.Exhaustive{}.SearchVariant(ctx, l, a, v)
 			}
-			return core.SearchVariant(l, a, v)
+			return core.SearchVariantContext(ctx, l, a, v)
 		})
 	})
 }
@@ -202,30 +215,32 @@ func (e *Engine) SearchVariant(l core.Layer, a core.Array, v core.Variant) (core
 // SearchNetwork optimizes every layer through the engine concurrently and
 // aggregates the totals, mirroring core.SearchNetwork (results in layer
 // order, first error wins) with cached and pooled layer searches.
-func (e *Engine) SearchNetwork(layers []core.Layer, a core.Array) (core.NetworkResult, error) {
-	return e.SearchNetworkVariant(layers, a, core.VariantFull)
+func (e *Engine) SearchNetwork(ctx context.Context, layers []core.Layer, a core.Array) (core.NetworkResult, error) {
+	return e.SearchNetworkVariant(ctx, layers, a, core.VariantFull)
 }
 
 // SearchNetworkVariant is SearchNetwork under an ablation variant. The
 // per-layer goroutines it fans out are cheap orchestrators — the actual
 // costing inside each search is bounded by the worker pool.
-func (e *Engine) SearchNetworkVariant(layers []core.Layer, a core.Array, v core.Variant) (core.NetworkResult, error) {
-	search := func(l core.Layer, a core.Array) (core.Result, error) {
-		return e.SearchVariant(l, a, v)
+func (e *Engine) SearchNetworkVariant(ctx context.Context, layers []core.Layer, a core.Array, v core.Variant) (core.NetworkResult, error) {
+	search := func(ctx context.Context, l core.Layer, a core.Array) (core.Result, error) {
+		return e.SearchVariant(ctx, l, a, v)
 	}
 	if e.workers == 1 {
 		// Everything serializes through the one pool slot anyway; skipping
 		// the per-layer goroutines avoids measurable scheduler churn.
-		return core.SearchNetworkSeq(layers, a, search)
+		return core.SearchNetworkSeq(ctx, layers, a, search)
 	}
-	return core.SearchNetworkWith(layers, a, search)
+	return core.SearchNetworkWith(ctx, layers, a, search)
 }
 
 // memoized serves one search through the cache and in-flight duplicate
 // suppression. compute runs the underlying algorithm with the caller's
 // original layer (so computed results and errors are exactly the serial
 // ones); the cached copy is stored name-cleared and re-stamped per caller.
-func (e *Engine) memoized(k cacheKey, name string, compute func() (core.Result, error)) (core.Result, error) {
+// A waiter abandons an in-flight join when its own context is cancelled, and
+// a cancelled computation is reported to the leader without being cached.
+func (e *Engine) memoized(ctx context.Context, k cacheKey, name string, compute func(context.Context) (core.Result, error)) (core.Result, error) {
 	e.searches.Add(1)
 	if res, ok := e.cache.get(k); ok {
 		e.hits.Add(1)
@@ -235,14 +250,21 @@ func (e *Engine) memoized(k cacheKey, name string, compute func() (core.Result, 
 	if c, ok := e.flight[k]; ok {
 		e.mu.Unlock()
 		e.dedupes.Add(1)
-		<-c.done
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			// The waiter's own caller is gone; the leader keeps running for
+			// everyone else.
+			return core.Result{}, ctx.Err()
+		}
 		if c.err != nil {
-			// The leader's error message names the leader's layer; recompute
-			// so this caller gets exactly the serial error for its own. The
-			// duplicated work is negligible — search errors fail fast in
-			// input validation.
+			// The leader's error message names the leader's layer (or the
+			// leader was cancelled, which must not fail this caller);
+			// recompute so this caller gets exactly the serial outcome for
+			// its own inputs. The duplicated work is negligible — search
+			// errors fail fast in input validation.
 			e.misses.Add(1)
-			_, err := compute()
+			_, err := compute(ctx)
 			return core.Result{}, err
 		}
 		e.hits.Add(1)
@@ -261,7 +283,7 @@ func (e *Engine) memoized(k cacheKey, name string, compute func() (core.Result, 
 	e.mu.Unlock()
 
 	e.misses.Add(1)
-	res, err := compute()
+	res, err := compute(ctx)
 	if err == nil {
 		e.countCandidates(k, res)
 		c.res = anonymized(res)
@@ -295,11 +317,17 @@ func (e *Engine) countCandidates(k cacheKey, res core.Result) {
 }
 
 // withSlot runs f while holding one worker-pool slot, so every leaf search
-// is bounded by WithWorkers. Callers must not already hold a slot (holding
-// one while acquiring another would deadlock a single-worker pool); the
-// orchestration layers (memoized, SearchNetworkVariant, Sweep) never do.
-func (e *Engine) withSlot(f func() (core.Result, error)) (core.Result, error) {
-	e.sem <- struct{}{}
+// is bounded by WithWorkers; a caller cancelled while waiting for a slot
+// gives up instead of queueing dead work. Callers must not already hold a
+// slot (holding one while acquiring another would deadlock a single-worker
+// pool); the orchestration layers (memoized, SearchNetworkVariant, Sweep)
+// never do.
+func (e *Engine) withSlot(ctx context.Context, f func() (core.Result, error)) (core.Result, error) {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return core.Result{}, ctx.Err()
+	}
 	defer func() { <-e.sem }()
 	return f()
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"sync"
@@ -9,6 +10,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 )
+
+// bg is the context every non-cancellation test runs under.
+var bg = context.Background()
 
 // testArrays spans the paper's evaluation sizes plus small arrays that force
 // infeasible candidates into the sweeps.
@@ -35,9 +39,12 @@ func TestEngineMatchesSerialEverywhere(t *testing.T) {
 		engine func(core.Layer, core.Array) (core.Result, error)
 	}
 	searches := []search{
-		{"vwsdk", core.SearchVWSDK, e.SearchVWSDK},
-		{"sdk", core.SearchSDK, e.SearchSDK},
-		{"smd", core.SearchSMD, e.SearchSMD},
+		{"vwsdk", core.SearchVWSDK,
+			func(l core.Layer, a core.Array) (core.Result, error) { return e.SearchVWSDK(bg, l, a) }},
+		{"sdk", core.SearchSDK,
+			func(l core.Layer, a core.Array) (core.Result, error) { return e.SearchSDK(bg, l, a) }},
+		{"smd", core.SearchSMD,
+			func(l core.Layer, a core.Array) (core.Result, error) { return e.SearchSMD(bg, l, a) }},
 	}
 	for _, v := range []core.Variant{core.VariantFull, core.VariantSquareTiled, core.VariantRectFullChannel} {
 		v := v
@@ -47,7 +54,7 @@ func TestEngineMatchesSerialEverywhere(t *testing.T) {
 				return core.SearchVariant(l, a, v)
 			},
 			engine: func(l core.Layer, a core.Array) (core.Result, error) {
-				return e.SearchVariant(l, a, v)
+				return e.SearchVariant(bg, l, a, v)
 			},
 		})
 	}
@@ -85,7 +92,7 @@ func TestEngineCachedHitIsIdentical(t *testing.T) {
 	e := New()
 	l := core.Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
 	a := core.Array{Rows: 512, Cols: 512}
-	if _, err := e.SearchVWSDK(l, a); err != nil {
+	if _, err := e.SearchVWSDK(bg, l, a); err != nil {
 		t.Fatal(err)
 	}
 	renamedLayer := l
@@ -94,7 +101,7 @@ func TestEngineCachedHitIsIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := e.SearchVWSDK(renamedLayer, a)
+	got, err := e.SearchVWSDK(bg, renamedLayer, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,10 +119,10 @@ func TestEngineVariantFullSharesVWSDKCache(t *testing.T) {
 	e := New()
 	l := core.Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64}
 	a := core.Array{Rows: 256, Cols: 256}
-	if _, err := e.SearchVWSDK(l, a); err != nil {
+	if _, err := e.SearchVWSDK(bg, l, a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.SearchVariant(l, a, core.VariantFull); err != nil {
+	if _, err := e.SearchVariant(bg, l, a, core.VariantFull); err != nil {
 		t.Fatal(err)
 	}
 	if st := e.Stats(); st.CacheMisses != 1 || st.CacheHits != 1 {
@@ -133,7 +140,7 @@ func TestEngineSearchNetwork(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", n.Name, err)
 		}
-		got, err := e.SearchNetwork(n.CoreLayers(), a)
+		got, err := e.SearchNetwork(bg, n.CoreLayers(), a)
 		if err != nil {
 			t.Fatalf("%s: %v", n.Name, err)
 		}
@@ -141,7 +148,7 @@ func TestEngineSearchNetwork(t *testing.T) {
 			t.Errorf("%s: network result differs\nserial %+v\nengine %+v", n.Name, want, got)
 		}
 	}
-	if _, err := e.SearchNetwork(nil, a); err == nil {
+	if _, err := e.SearchNetwork(bg, nil, a); err == nil {
 		t.Error("SearchNetwork accepted an empty layer list")
 	}
 }
@@ -152,11 +159,11 @@ func TestEngineErrorsMatchSerial(t *testing.T) {
 	e := New()
 	bad := core.Layer{IW: 0, IH: 8, KW: 3, KH: 3, IC: 1, OC: 1}
 	a := core.Array{Rows: 512, Cols: 512}
-	if _, err := e.SearchVWSDK(bad, a); err == nil {
+	if _, err := e.SearchVWSDK(bg, bad, a); err == nil {
 		t.Error("engine accepted invalid layer")
 	}
 	ok := core.Layer{IW: 8, IH: 8, KW: 3, KH: 3, IC: 1, OC: 1}
-	if _, err := e.SearchVWSDK(ok, core.Array{}); err == nil {
+	if _, err := e.SearchVWSDK(bg, ok, core.Array{}); err == nil {
 		t.Error("engine accepted invalid array")
 	}
 	if st := e.Stats(); st.CachedResults != 0 {
@@ -186,7 +193,7 @@ func TestEngineConcurrentIdenticalSearches(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = e.SearchVWSDK(l, a)
+			results[i], errs[i] = e.SearchVWSDK(bg, l, a)
 		}(i)
 	}
 	wg.Wait()
@@ -231,7 +238,7 @@ func TestEngineFlightDedupeCounter(t *testing.T) {
 	e.sem <- struct{}{}
 	leaderErr := make(chan error, 1)
 	go func() {
-		_, err := e.SearchVWSDK(l, a)
+		_, err := e.SearchVWSDK(bg, l, a)
 		leaderErr <- err
 	}()
 	// Wait until the leader is registered in flight.
@@ -246,7 +253,7 @@ func TestEngineFlightDedupeCounter(t *testing.T) {
 	}
 	waiterErr := make(chan error, 1)
 	go func() {
-		_, err := e.SearchVWSDK(l, a)
+		_, err := e.SearchVWSDK(bg, l, a)
 		waiterErr <- err
 	}()
 	// Wait until the waiter has observed the in-flight entry (its dedupe is
@@ -284,7 +291,7 @@ func TestEngineOptions(t *testing.T) {
 		New(WithWorkers(1), WithCacheSize(0)),
 		New(WithWorkers(64), WithCacheSize(1)),
 	} {
-		got, err := e.SearchVWSDK(l, a)
+		got, err := e.SearchVWSDK(bg, l, a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,7 +301,7 @@ func TestEngineOptions(t *testing.T) {
 	}
 	nocache := New(WithCacheSize(0))
 	for i := 0; i < 2; i++ {
-		if _, err := nocache.SearchVWSDK(l, a); err != nil {
+		if _, err := nocache.SearchVWSDK(bg, l, a); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -314,7 +321,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	l1 := core.Layer{Name: "a", IW: 14, IH: 14, KW: 3, KH: 3, IC: 16, OC: 16}
 	l2 := core.Layer{Name: "b", IW: 16, IH: 16, KW: 3, KH: 3, IC: 16, OC: 16}
 	for _, l := range []core.Layer{l1, l2, l1} {
-		if _, err := e.SearchVWSDK(l, a); err != nil {
+		if _, err := e.SearchVWSDK(bg, l, a); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -350,7 +357,7 @@ func TestEngineCandidateCounters(t *testing.T) {
 	enumerated := core.ExhaustiveCandidates(l, core.VariantFull)
 
 	e := New()
-	if _, err := e.SearchVWSDK(l, a); err != nil {
+	if _, err := e.SearchVWSDK(bg, l, a); err != nil {
 		t.Fatal(err)
 	}
 	st := e.Stats()
@@ -363,14 +370,14 @@ func TestEngineCandidateCounters(t *testing.T) {
 			st.CandidatesPruned, want, enumerated, serial.Evaluated)
 	}
 	// A cache hit costs nothing.
-	if _, err := e.SearchVWSDK(l, a); err != nil {
+	if _, err := e.SearchVWSDK(bg, l, a); err != nil {
 		t.Fatal(err)
 	}
 	if st2 := e.Stats(); st2.CandidatesCosted != st.CandidatesCosted || st2.CandidatesPruned != st.CandidatesPruned {
 		t.Errorf("cache hit moved candidate counters: %+v -> %+v", st, st2)
 	}
 	// Baseline searches count their costed candidates but prune nothing.
-	sdk, err := e.SearchSDK(l, a)
+	sdk, err := e.SearchSDK(bg, l, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +387,7 @@ func TestEngineCandidateCounters(t *testing.T) {
 	}
 
 	exh := New(WithExhaustiveSearch())
-	if _, err := exh.SearchVWSDK(l, a); err != nil {
+	if _, err := exh.SearchVWSDK(bg, l, a); err != nil {
 		t.Fatal(err)
 	}
 	if st := exh.Stats(); st.CandidatesPruned != 0 || st.CandidatesCosted != uint64(serial.Swept) {
@@ -400,7 +407,7 @@ func TestEngineExhaustiveSearchOption(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := e.SearchVariant(l, a, v)
+			got, err := e.SearchVariant(bg, l, a, v)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -421,7 +428,7 @@ func TestSweep(t *testing.T) {
 	networks := []model.Network{model.VGG13(), model.ResNet18()}
 	arrays := []core.Array{{Rows: 256, Cols: 256}, {Rows: 512, Cols: 512}}
 	variants := []core.Variant{core.VariantFull, core.VariantSquareTiled}
-	cells := e.Sweep(networks, arrays, variants)
+	cells := e.Sweep(bg, networks, arrays, variants)
 	if len(cells) != len(networks)*len(arrays)*len(variants) {
 		t.Fatalf("got %d cells", len(cells))
 	}
@@ -456,7 +463,7 @@ func TestSweep(t *testing.T) {
 		}
 	}
 	// Empty variants default to the full search.
-	def := e.Sweep(networks[:1], arrays[:1], nil)
+	def := e.Sweep(bg, networks[:1], arrays[:1], nil)
 	if len(def) != 1 || def[0].Cell.Variant != core.VariantFull {
 		t.Fatalf("default sweep = %+v", def)
 	}

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -17,7 +19,8 @@ type Cell struct {
 
 // CellResult is the outcome of one sweep cell. Err is per-cell so a sweep
 // that mixes feasible and infeasible combinations still reports every
-// feasible one.
+// feasible one; after a cancellation, cells that were never dispatched carry
+// the context's error.
 type CellResult struct {
 	Cell   Cell
 	Result core.NetworkResult
@@ -33,13 +36,19 @@ func (c CellResult) Speedup() float64 {
 }
 
 // Sweep optimizes every network on every array under every variant, fanning
-// all cells (and their per-layer searches) across the worker pool. An empty
+// cells (and their per-layer searches) across the worker pool. An empty
 // variants slice means the full VW-SDK search only. Results are returned in
 // deterministic input order — networks outermost, variants innermost — and
 // repeated layer shapes across cells are served from the engine's cache, so
 // e.g. ResNet-18's four conv2..conv5 repeats and shapes shared between VGG
 // variants are costed once per array.
-func (e *Engine) Sweep(networks []model.Network, arrays []core.Array, variants []core.Variant) []CellResult {
+//
+// Cells are dispatched from a shared cursor by at most one runner per pool
+// worker; once ctx is cancelled no further cell is dispatched — undispatched
+// cells come back with Err set to ctx.Err() — and cells already running stop
+// at their searches' next cancellation checkpoint. Sweep itself always
+// returns the full, input-ordered slice.
+func (e *Engine) Sweep(ctx context.Context, networks []model.Network, arrays []core.Array, variants []core.Variant) []CellResult {
 	if len(variants) == 0 {
 		variants = []core.Variant{core.VariantFull}
 	}
@@ -51,25 +60,44 @@ func (e *Engine) Sweep(networks []model.Network, arrays []core.Array, variants [
 			}
 		}
 	}
+	runCell := func(i int) {
+		if e.sweepCellHook != nil {
+			e.sweepCellHook(i)
+		}
+		c := &out[i]
+		// The dispatch checkpoint: a cancelled sweep stops scheduling new
+		// cells here instead of funnelling thousands of doomed searches
+		// through the pool.
+		if err := ctx.Err(); err != nil {
+			c.Err = err
+			return
+		}
+		c.Result, c.Err = e.SearchNetworkVariant(ctx, c.Cell.Network.CoreLayers(), c.Cell.Array, c.Cell.Variant)
+	}
 	if e.workers == 1 {
 		// A single-worker pool serializes every cell anyway; running them
 		// inline avoids parking a goroutine per cell on the one slot, which
 		// costs measurable scheduler churn on a single core.
 		for i := range out {
-			c := &out[i]
-			c.Result, c.Err = e.SearchNetworkVariant(
-				c.Cell.Network.CoreLayers(), c.Cell.Array, c.Cell.Variant)
+			runCell(i)
 		}
 		return out
 	}
+	runners := min(len(out), e.workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := range out {
+	for range runners {
 		wg.Add(1)
-		go func(c *CellResult) {
+		go func() {
 			defer wg.Done()
-			c.Result, c.Err = e.SearchNetworkVariant(
-				c.Cell.Network.CoreLayers(), c.Cell.Array, c.Cell.Variant)
-		}(&out[i])
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(out) {
+					return
+				}
+				runCell(i)
+			}
+		}()
 	}
 	wg.Wait()
 	return out

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -98,11 +99,11 @@ type trio struct {
 // mapLayer compiles one layer under the SDK and VW-SDK schemes (the im2col
 // baseline rides along in every search result).
 func mapLayer(c *compile.Compiler, l core.Layer, a core.Array) (trio, error) {
-	sdk, err := c.CompileLayer(l, a, compile.Options{Scheme: compile.SDK})
+	sdk, err := c.CompileLayer(context.Background(), l, a, compile.Options{Scheme: compile.SDK})
 	if err != nil {
 		return trio{}, err
 	}
-	vw, err := c.CompileLayer(l, a, compile.Options{})
+	vw, err := c.CompileLayer(context.Background(), l, a, compile.Options{})
 	if err != nil {
 		return trio{}, err
 	}
@@ -112,11 +113,11 @@ func mapLayer(c *compile.Compiler, l core.Layer, a core.Array) (trio, error) {
 // mapNetwork compiles a whole network under the SDK and VW-SDK schemes and
 // pairs the per-layer mappings up in layer order.
 func mapNetwork(c *compile.Compiler, n model.Network, a core.Array) ([]trio, error) {
-	sdk, err := c.Compile(n, a, compile.Options{Scheme: compile.SDK})
+	sdk, err := c.Compile(context.Background(), compile.NewRequest(n, a, compile.Options{Scheme: compile.SDK}))
 	if err != nil {
 		return nil, err
 	}
-	vw, err := c.Compile(n, a, compile.Options{})
+	vw, err := c.Compile(context.Background(), compile.NewRequest(n, a, compile.Options{}))
 	if err != nil {
 		return nil, err
 	}

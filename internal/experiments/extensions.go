@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compile"
@@ -47,7 +48,7 @@ func AblationWith(c *compile.Compiler, a core.Array) (*Result, error) {
 		cycles := make([]int64, len(ablations))
 		var im int64
 		for i, ab := range ablations {
-			p, err := c.Compile(n, a, ab.opts)
+			p, err := c.Compile(context.Background(), compile.NewRequest(n, a, ab.opts))
 			if err != nil {
 				return nil, err
 			}
@@ -102,11 +103,11 @@ func EnergyWith(c *compile.Compiler, a core.Array) (*Result, error) {
 		for _, s := range schemes {
 			// Two compiles per scheme — default and gated peripherals; the
 			// searches behind them are shared through the compiler's cache.
-			p, err := c.Compile(n, a, compile.Options{Scheme: s.scheme})
+			p, err := c.Compile(context.Background(), compile.NewRequest(n, a, compile.Options{Scheme: s.scheme}))
 			if err != nil {
 				return nil, err
 			}
-			gp, err := c.Compile(n, a, compile.Options{Scheme: s.scheme, GatePeripherals: true})
+			gp, err := c.Compile(context.Background(), compile.NewRequest(n, a, compile.Options{Scheme: s.scheme, GatePeripherals: true}))
 			if err != nil {
 				return nil, err
 			}

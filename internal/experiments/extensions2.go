@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitslice"
@@ -93,11 +94,11 @@ func ChipWith(c *compile.Compiler, a core.Array) (*Result, error) {
 		imSpans := make([]int64, len(counts))
 		vwSpans := make([]int64, len(counts))
 		for i, count := range counts {
-			imPlan, err := c.Compile(n, a, compile.Options{Scheme: compile.Im2col, Arrays: count})
+			imPlan, err := c.Compile(context.Background(), compile.NewRequest(n, a, compile.Options{Scheme: compile.Im2col, Arrays: count}))
 			if err != nil {
 				return nil, err
 			}
-			vwPlan, err := c.Compile(n, a, compile.Options{Arrays: count})
+			vwPlan, err := c.Compile(context.Background(), compile.NewRequest(n, a, compile.Options{Arrays: count}))
 			if err != nil {
 				return nil, err
 			}
@@ -150,7 +151,7 @@ func ReuseWith(c *compile.Compiler, a core.Array) (*Result, error) {
 	n := model.ResNet18()
 	plans := make([]*compile.NetworkPlan, 0, 3)
 	for _, s := range []compile.Scheme{compile.Im2col, compile.SDK, compile.VWSDK} {
-		p, err := c.Compile(n, a, compile.Options{Scheme: s, Plans: true})
+		p, err := c.Compile(context.Background(), compile.NewRequest(n, a, compile.Options{Scheme: s, Plans: true}))
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -55,14 +56,17 @@ func newPlanCache(capacity int) *planCache {
 // do serves one compilation through the cache: an LRU hit returns
 // immediately, a key already in flight joins it, and otherwise compute runs
 // exactly once and its result is stored. The bool reports whether the entry
-// was served without running compute (LRU hit or coalesced join).
+// was served without running compute (LRU hit or coalesced join). A joiner
+// whose own ctx ends while it waits on the leader abandons the join with
+// ctx.Err(); the leader keeps running for everyone else.
 //
 // A failed flight is never shared: its error may be private to the leader
-// (most likely: the leader's client hung up while queued), so a joiner that
-// finds the flight failed runs its own compute and reports its own outcome,
-// mirroring engine.memoized. Reachable compile errors are caller-specific
-// or caught before the cache, so the duplicated work is negligible.
-func (c *planCache) do(key string, compute func() (*compile.NetworkPlan, []byte, error)) (*planEntry, bool, error) {
+// (most likely: the leader's client hung up or timed out mid-compile), so a
+// joiner that finds the flight failed runs its own compute and reports its
+// own outcome, mirroring engine.memoized. Reachable compile errors are
+// caller-specific or caught before the cache, so the duplicated work is
+// negligible.
+func (c *planCache) do(ctx context.Context, key string, compute func() (*compile.NetworkPlan, []byte, error)) (*planEntry, bool, error) {
 	c.mu.Lock()
 	if e := c.lockedGet(key); e != nil {
 		c.mu.Unlock()
@@ -72,7 +76,11 @@ func (c *planCache) do(key string, compute func() (*compile.NetworkPlan, []byte,
 	if f, ok := c.flight[key]; ok {
 		c.mu.Unlock()
 		c.dedupes.Add(1)
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
 		if f.err == nil {
 			c.hits.Add(1)
 			return f.entry, true, nil

@@ -60,24 +60,24 @@ func decodeJSONBody(w http.ResponseWriter, r *http.Request, maxBody int64, dst a
 	return nil
 }
 
-// resolve turns the wire request into validated compile inputs. Malformed
-// references come back as 422: the body was syntactically valid JSON (that
-// was 400's job in decodeJSONBody) but names something that cannot be
-// compiled.
-func (req *compileRequest) resolve() (model.Network, core.Array, compile.Options, *httpError) {
+// resolve turns the wire request into the canonical compile.Request.
+// Malformed references come back as 422: the body was syntactically valid
+// JSON (that was 400's job in decodeJSONBody) but names something that
+// cannot be compiled.
+func (req *compileRequest) resolve() (compile.Request, *httpError) {
 	n, herr := resolveNetworkRef(req.Network)
 	if herr != nil {
-		return model.Network{}, core.Array{}, compile.Options{}, herr
+		return compile.Request{}, herr
 	}
 	a, herr := resolveArrayRef(req.Array)
 	if herr != nil {
-		return model.Network{}, core.Array{}, compile.Options{}, herr
+		return compile.Request{}, herr
 	}
 	opts, herr := req.Options.compileOptions()
 	if herr != nil {
-		return model.Network{}, core.Array{}, compile.Options{}, herr
+		return compile.Request{}, herr
 	}
-	return n, a, opts, nil
+	return compile.NewRequest(n, a, opts), nil
 }
 
 // resolveNetworkRef resolves a request's network reference through

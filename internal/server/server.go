@@ -6,21 +6,34 @@
 //
 // The server owns a single shared Compiler and adds, on top of the engine's
 // per-layer result cache, a whole-plan LRU cache keyed on the canonical
-// (network, array, options) tuple (compile.Key) with singleflight
-// coalescing: N identical concurrent requests run exactly one compilation
-// and share its serialized bytes. Compilations are bounded by a semaphore
-// with a configurable wait queue, and sweep streams by their own
-// same-sized semaphore; requests beyond the limits are rejected with 503
-// instead of piling up. Request bodies are size-limited and every error is
+// compile.Request (compile.Key) with singleflight coalescing: N identical
+// concurrent requests run exactly one compilation and share its serialized
+// bytes. Compilations are bounded by a semaphore with a configurable wait
+// queue, and sweep streams by their own same-sized semaphore; requests
+// beyond the limits are rejected with 503 instead of piling up. Request
+// bodies are size-limited and every error — including 404s and 405s — is
 // structured JSON ({"error": {"status", "message"}}).
+//
+// Every handler runs under the request's own context (plus the configured
+// per-request deadline): a client that disconnects mid-compile cancels the
+// underlying search at its next checkpoint and frees its semaphore or queue
+// slot; a request past its deadline gets a structured 504. The same
+// execution path also powers the asynchronous job API — POST /v1/jobs
+// submits a compile or sweep and returns immediately, GET /v1/jobs/{id}
+// reports state and per-cell progress, DELETE cancels via the job's context
+// (see jobs.go).
 //
 // Endpoints:
 //
-//	POST /v1/compile   {network, array, options} → serialized compile.NetworkPlan
-//	POST /v1/sweep     {networks, arrays, variants, options} → NDJSON plan summaries, streamed per cell
-//	GET  /v1/networks  the predefined model zoo
-//	GET  /healthz      liveness
-//	GET  /stats        engine, plan-cache and server counters
+//	POST   /v1/compile    {network, array, options} → serialized compile.NetworkPlan
+//	POST   /v1/sweep      {networks, arrays, variants, options} → NDJSON plan summaries, streamed per cell
+//	POST   /v1/jobs       {compile: {...}} or {sweep: {...}} → job snapshot (202)
+//	GET    /v1/jobs       job listing (without payloads)
+//	GET    /v1/jobs/{id}  job snapshot with progress and results
+//	DELETE /v1/jobs/{id}  cancel the job
+//	GET    /v1/networks   the predefined model zoo
+//	GET    /healthz       liveness
+//	GET    /stats         engine, plan-cache, job and server counters
 //
 // A *Server is an http.Handler; serve it with http.Server (cmd/vwsdkd adds
 // flags, access logging to stderr and graceful shutdown on SIGTERM).
@@ -34,6 +47,8 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -49,6 +64,12 @@ import (
 type Config struct {
 	// Engine is the shared search engine; nil builds a default engine.New().
 	Engine *engine.Engine
+
+	// Searcher, when non-nil, overrides Engine as the compiler's search
+	// backend (the engine then only serves /stats). Tests use it to inject
+	// gated searchers with deterministic blocking; production deployments
+	// leave it nil.
+	Searcher core.Searcher
 
 	// PlanCacheSize is the whole-plan LRU capacity in entries; 0 selects the
 	// default (128), negative disables plan caching (identical concurrent
@@ -67,6 +88,21 @@ type Config struct {
 	// MaxBodyBytes limits request bodies; 0 selects the default (1 MiB).
 	MaxBodyBytes int64
 
+	// RequestTimeout is the per-request deadline applied on top of the
+	// client's own context, for synchronous handlers and jobs alike; 0
+	// disables it. A request past the deadline is abandoned at the search's
+	// next cancellation checkpoint and answered with a structured 504.
+	RequestTimeout time.Duration
+
+	// JobTTL is how long a finished (done/failed/cancelled) job remains
+	// queryable before it is garbage-collected; 0 selects the default
+	// (10 minutes), negative collects terminal jobs on the next access.
+	JobTTL time.Duration
+
+	// MaxJobs bounds jobs that are queued or running at once; 0 selects the
+	// default (64). Submissions beyond it are rejected with 503.
+	MaxJobs int
+
 	// Logger receives one access-log line per request; nil disables logging.
 	Logger *log.Logger
 }
@@ -75,6 +111,8 @@ const (
 	defaultPlanCacheSize = 128
 	defaultMaxQueue      = 64
 	defaultMaxBodyBytes  = 1 << 20
+	defaultJobTTL        = 10 * time.Minute
+	defaultMaxJobs       = 64
 )
 
 // Server is the compile service. Build one with New; it is an http.Handler
@@ -83,8 +121,10 @@ type Server struct {
 	eng     *engine.Engine
 	comp    *compile.Compiler
 	plans   *planCache
+	jobs    *jobSet
 	logger  *log.Logger
 	maxBody int64
+	timeout time.Duration
 	mux     *http.ServeMux
 
 	sem      chan struct{} // bounds concurrently running compilations
@@ -103,6 +143,10 @@ func New(cfg Config) *Server {
 	if cfg.Engine == nil {
 		cfg.Engine = engine.New()
 	}
+	var searcher core.Searcher = cfg.Engine
+	if cfg.Searcher != nil {
+		searcher = cfg.Searcher
+	}
 	if cfg.PlanCacheSize == 0 {
 		cfg.PlanCacheSize = defaultPlanCacheSize
 	}
@@ -115,27 +159,79 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	if cfg.JobTTL == 0 {
+		cfg.JobTTL = defaultJobTTL
+	} else if cfg.JobTTL < 0 {
+		cfg.JobTTL = 0
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = defaultMaxJobs
+	}
 	s := &Server{
 		eng:      cfg.Engine,
-		comp:     compile.New(cfg.Engine),
+		comp:     compile.New(searcher),
 		plans:    newPlanCache(cfg.PlanCacheSize),
+		jobs:     newJobSet(cfg.JobTTL, cfg.MaxJobs),
 		logger:   cfg.Logger,
 		maxBody:  cfg.MaxBodyBytes,
+		timeout:  cfg.RequestTimeout,
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		sweepSem: make(chan struct{}, cfg.MaxConcurrent),
 		maxQueue: cfg.MaxQueue,
 		mux:      http.NewServeMux(),
 	}
-	s.mux.HandleFunc("POST /v1/compile", s.handleCompile)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/networks", s.handleNetworks)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	// Every path is registered for all methods and dispatched through
+	// methods{}, so method mismatches get the structured 405 below instead
+	// of the mux's plain-text default; the "/" fallback turns unknown paths
+	// into structured 404s.
+	s.mux.Handle("/v1/compile", methods{http.MethodPost: s.handleCompile})
+	s.mux.Handle("/v1/sweep", methods{http.MethodPost: s.handleSweep})
+	s.mux.Handle("/v1/jobs", methods{http.MethodPost: s.handleJobCreate, http.MethodGet: s.handleJobList})
+	s.mux.Handle("/v1/jobs/{id}", methods{http.MethodGet: s.handleJobGet, http.MethodDelete: s.handleJobDelete})
+	s.mux.Handle("/v1/networks", methods{http.MethodGet: s.handleNetworks})
+	s.mux.Handle("/healthz", methods{http.MethodGet: s.handleHealthz})
+	s.mux.Handle("/stats", methods{http.MethodGet: s.handleStats})
+	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
 }
 
 // Engine returns the shared search engine (for tests and stats).
 func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// methods dispatches one registered path by HTTP method, replacing the
+// mux's built-in plain-text 405 with the structured error JSON every other
+// rejection uses (and advertising the allowed methods, as RFC 9110
+// requires).
+type methods map[string]http.HandlerFunc
+
+func (m methods) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := m[r.Method]; ok {
+		h(w, r)
+		return
+	}
+	// HEAD is implicitly served by the GET handler, as the mux's method
+	// patterns would have it: net/http discards the body and keeps the
+	// headers, so health probes using HEAD keep working.
+	if r.Method == http.MethodHead {
+		if h, ok := m[http.MethodGet]; ok {
+			h(w, r)
+			return
+		}
+	}
+	allowed := make([]string, 0, len(m))
+	for method := range m {
+		allowed = append(allowed, method)
+	}
+	sort.Strings(allowed)
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	writeError(w, errorf(http.StatusMethodNotAllowed,
+		"method %s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allowed, ", ")))
+}
+
+// handleNotFound is the structured fallback for paths no handler claims.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, errorf(http.StatusNotFound, "no such endpoint %s", r.URL.Path))
+}
 
 // ServeHTTP dispatches to the API endpoints, wrapped in request counting,
 // latency measurement and access logging.
@@ -151,6 +247,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.logger != nil {
 		s.logger.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, rw.code(), rw.bytes, d.Round(time.Microsecond))
 	}
+}
+
+// requestContext derives a synchronous handler's working context: the
+// client's own context (cancelled on disconnect) plus the configured
+// per-request deadline. Callers must invoke the returned cancel.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
 }
 
 // responseWriter records the status code and body size for the access log,
@@ -192,9 +298,10 @@ func (w *responseWriter) code() int {
 
 // acquire takes one compilation slot without waiting beyond the configured
 // queue: a free slot is taken immediately, otherwise the request queues
-// until a slot frees or the client goes away, and a full queue rejects with
-// errBusy. Matching release() must follow every nil return.
-func (s *Server) acquire(r *http.Request) error {
+// until a slot frees or ctx ends (client gone, or deadline hit), and a full
+// queue rejects with errBusy. Matching release() must follow every nil
+// return.
+func (s *Server) acquire(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
 		return nil
@@ -211,42 +318,47 @@ func (s *Server) acquire(r *http.Request) error {
 	select {
 	case s.sem <- struct{}{}:
 		return nil
-	case <-r.Context().Done():
-		return errorf(http.StatusServiceUnavailable, "client cancelled while queued: %v", r.Context().Err())
+	case <-ctx.Done():
+		// Freeing the queue slot is the whole point: a dead client must not
+		// keep occupying admission capacity. The error maps to 503 or 504
+		// through toHTTPError.
+		return ctx.Err()
 	}
 }
 
-// acquireBlocking takes a slot with no queue bound — used by sweep cells,
-// which belong to one already-admitted request and must not be individually
-// rejected.
-func (s *Server) acquireBlocking(r *http.Request) error {
+// acquireBlocking takes a slot with no queue bound — used by sweep cells and
+// jobs, which belong to one already-admitted request and must not be
+// individually rejected.
+func (s *Server) acquireBlocking(ctx context.Context) error {
 	select {
 	case s.sem <- struct{}{}:
 		return nil
-	case <-r.Context().Done():
-		return r.Context().Err()
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
 func (s *Server) release() { <-s.sem }
 
 // compilePlan serves one compilation through the plan cache with
-// singleflight coalescing; block selects the sweep-cell admission policy
+// singleflight coalescing, entirely under ctx: waiting for admission,
+// joining an in-flight compilation and the search loops themselves all
+// abort when ctx ends. block selects the sweep-cell/job admission policy
 // (wait indefinitely) over the compile-endpoint one (bounded queue, 503).
 // The returned entry is shared and must not be mutated.
-func (s *Server) compilePlan(r *http.Request, key string, n model.Network, a core.Array, opts compile.Options, block bool) (*planEntry, bool, error) {
-	return s.plans.do(key, func() (*compile.NetworkPlan, []byte, error) {
+func (s *Server) compilePlan(ctx context.Context, key string, req compile.Request, block bool) (*planEntry, bool, error) {
+	return s.plans.do(ctx, key, func() (*compile.NetworkPlan, []byte, error) {
 		var err error
 		if block {
-			err = s.acquireBlocking(r)
+			err = s.acquireBlocking(ctx)
 		} else {
-			err = s.acquire(r)
+			err = s.acquire(ctx)
 		}
 		if err != nil {
 			return nil, nil, err
 		}
 		defer s.release()
-		p, err := s.comp.Compile(n, a, opts)
+		p, err := s.comp.Compile(ctx, req)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -259,22 +371,24 @@ func (s *Server) compilePlan(r *http.Request, key string, n model.Network, a cor
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
-	var req compileRequest
-	if herr := decodeJSONBody(w, r, s.maxBody, &req); herr != nil {
+	var body compileRequest
+	if herr := decodeJSONBody(w, r, s.maxBody, &body); herr != nil {
 		writeError(w, herr)
 		return
 	}
-	n, a, opts, herr := req.resolve()
+	req, herr := body.resolve()
 	if herr != nil {
 		writeError(w, herr)
 		return
 	}
-	key, err := compile.Key(n, a, opts)
+	key, err := compile.Key(req)
 	if err != nil {
 		writeError(w, errorf(http.StatusUnprocessableEntity, "%v", err))
 		return
 	}
-	entry, cached, err := s.compilePlan(r, key, n, a, opts, false)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	entry, cached, err := s.compilePlan(ctx, key, req, false)
 	if err != nil {
 		writeError(w, toHTTPError(err))
 		return
@@ -314,10 +428,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// Stats is the /stats payload: server, plan-cache and engine counters.
+// Stats is the /stats payload: server, plan-cache, job and engine counters.
 type Stats struct {
 	Server    ServerStats    `json:"server"`
 	PlanCache PlanCacheStats `json:"plan_cache"`
+	Jobs      JobStats       `json:"jobs"`
 	Engine    EngineStats    `json:"engine"`
 }
 
@@ -363,6 +478,7 @@ func (s *Server) Stats() Stats {
 			LatencyMs: s.hist.snapshot(),
 		},
 		PlanCache: s.plans.stats(),
+		Jobs:      s.jobs.stats(),
 		Engine: EngineStats{
 			Searches:         es.Searches,
 			CacheHits:        es.CacheHits,
@@ -436,14 +552,19 @@ var errBusy = &httpError{
 	msg:    "server at capacity: all compilation slots and queue positions are taken",
 }
 
-// toHTTPError passes httpErrors through, maps cancellation — never the
-// requester's fault when it surfaces here — to 503, and wraps everything
-// else (validation failures surfaced by the pipeline) as 422.
+// toHTTPError passes httpErrors through and maps context ends by cause: a
+// deadline (the -timeout flag) is the server's answer and gets a structured
+// 504, a cancellation (the client went away — nobody is reading the
+// response) gets 503, and everything else (validation failures surfaced by
+// the pipeline) is wrapped as 422.
 func toHTTPError(err error) *httpError {
 	if herr, ok := err.(*httpError); ok {
 		return herr
 	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return errorf(http.StatusGatewayTimeout, "compilation exceeded the request deadline: %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
 		return errorf(http.StatusServiceUnavailable, "compilation cancelled: %v", err)
 	}
 	return errorf(http.StatusUnprocessableEntity, "%v", err)

@@ -117,7 +117,8 @@ func TestCompileMatchesDirectAndGolden(t *testing.T) {
 		t.Errorf("content type %q", ct)
 	}
 
-	direct, err := compile.New(core.Serial{}).Compile(model.VGG13(), core.Array{Rows: 512, Cols: 512}, compile.Options{})
+	direct, err := compile.New(core.Serial{}).Compile(context.Background(),
+		compile.NewRequest(model.VGG13(), core.Array{Rows: 512, Cols: 512}, compile.Options{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,10 +368,10 @@ func TestSweepOptionsVariantApplies(t *testing.T) {
 	}
 	// The ablation must actually have run: its cell matches a direct
 	// square-tiled compile, not the full search.
-	direct, err := compile.New(core.Serial{}).Compile(
+	direct, err := compile.New(core.Serial{}).Compile(context.Background(), compile.NewRequest(
 		model.Single(core.Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64}),
 		core.Array{Rows: 256, Cols: 256},
-		compile.Options{Variant: core.VariantSquareTiled})
+		compile.Options{Variant: core.VariantSquareTiled}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestPlanCacheLeaderErrorNotShared(t *testing.T) {
 	}
 	leaderDone := make(chan outcome, 1)
 	go func() {
-		e, hit, err := c.do("k", func() (*compile.NetworkPlan, []byte, error) {
+		e, hit, err := c.do(context.Background(), "k", func() (*compile.NetworkPlan, []byte, error) {
 			close(leaderIn)
 			<-joinerJoined
 			return nil, nil, leaderErr
@@ -406,7 +407,7 @@ func TestPlanCacheLeaderErrorNotShared(t *testing.T) {
 	<-leaderIn
 	joinerDone := make(chan outcome, 1)
 	go func() {
-		e, hit, err := c.do("k", func() (*compile.NetworkPlan, []byte, error) {
+		e, hit, err := c.do(context.Background(), "k", func() (*compile.NetworkPlan, []byte, error) {
 			return &compile.NetworkPlan{}, []byte("joiner bytes"), nil
 		})
 		joinerDone <- outcome{e, hit, err}
@@ -429,7 +430,7 @@ func TestPlanCacheLeaderErrorNotShared(t *testing.T) {
 		t.Fatalf("joiner outcome %+v, want its own computed entry", got)
 	}
 	// The joiner's successful retry is cached for later requests.
-	if e, hit, err := c.do("k", func() (*compile.NetworkPlan, []byte, error) {
+	if e, hit, err := c.do(context.Background(), "k", func() (*compile.NetworkPlan, []byte, error) {
 		t.Fatal("cached key recomputed")
 		return nil, nil, nil
 	}); err != nil || !hit || string(e.data) != "joiner bytes" {
@@ -437,24 +438,38 @@ func TestPlanCacheLeaderErrorNotShared(t *testing.T) {
 	}
 }
 
-// TestSweepCellErrorDoesNotAbort pins the per-cell error contract: a cell
-// that fails (here: the client went away before its slot freed) produces a
-// summary line carrying the error instead of tearing down the stream.
-func TestSweepCellErrorDoesNotAbort(t *testing.T) {
+// TestSweepCellOutcomes pins the per-cell contract on both failure classes:
+// a cancelled context makes the cell incomplete (an error return, nothing to
+// emit — the stream carries only completed cells), while an uncompilable
+// cell folds its error into the summary line instead of tearing down the
+// stream.
+func TestSweepCellOutcomes(t *testing.T) {
 	s := New(Config{MaxConcurrent: 1})
 	s.sem <- struct{}{} // keep every slot busy so the cell must wait
-	defer s.release()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // the client is already gone
-	r := httptest.NewRequestWithContext(ctx, http.MethodPost, "/v1/sweep", nil)
-	sum := s.runCell(r, sweepCell{
-		network: model.Single(core.Layer{Name: "c", IW: 8, IH: 8, KW: 3, KH: 3, IC: 4, OC: 4}),
-		array:   core.Array{Rows: 64, Cols: 64},
-	})
-	if sum.Error == "" {
-		t.Fatal("cancelled cell reported no error")
+	cell := sweepCell{req: compile.NewRequest(
+		model.Single(core.Layer{Name: "c", IW: 8, IH: 8, KW: 3, KH: 3, IC: 4, OC: 4}),
+		core.Array{Rows: 64, Cols: 64}, compile.Options{})}
+	if _, err := s.runCell(ctx, cell); err == nil {
+		t.Fatal("cancelled cell returned no error")
 	}
-	if sum.Network == "" || sum.Array != "64x64" {
+	s.release()
+
+	// An uncompilable cell (kernel larger than the IFM fails validation
+	// inside the search) is a summary-level error, not a stream abort.
+	huge := core.Layer{Name: "huge", IW: 8, IH: 8, KW: 16, KH: 16, IC: 1, OC: 1}
+	bad := sweepCell{req: compile.NewRequest(
+		model.Network{Name: "bad", Layers: []model.ConvLayer{{Layer: huge, Count: 1}}},
+		core.Array{Rows: 8, Cols: 8}, compile.Options{})}
+	sum, err := s.runCell(context.Background(), bad)
+	if err != nil {
+		t.Fatalf("per-cell failure escalated to a stream error: %v", err)
+	}
+	if sum.Error == "" {
+		t.Fatal("uncompilable cell reported no error")
+	}
+	if sum.Network != "bad" || sum.Array != "8x8" {
 		t.Errorf("error summary lost the cell identity: %+v", sum)
 	}
 }

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -11,11 +14,12 @@ import (
 	"repro/internal/model"
 )
 
-// sweepRequest is the POST /v1/sweep body: the cross product of networks ×
-// arrays × variants, each element in the same form the compile endpoint
-// accepts. An empty variants list falls back to options.variant (or the
-// scheme's default search) once per (network, array); variants other than
-// "full" only make sense with the (default) vw scheme.
+// sweepRequest is the POST /v1/sweep body (and the "sweep" member of a job
+// submission): the cross product of networks × arrays × variants, each
+// element in the same form the compile endpoint accepts. An empty variants
+// list falls back to options.variant (or the scheme's default search) once
+// per (network, array); variants other than "full" only make sense with the
+// (default) vw scheme.
 type sweepRequest struct {
 	Networks []json.RawMessage `json:"networks"`
 	Arrays   []json.RawMessage `json:"arrays"`
@@ -26,18 +30,17 @@ type sweepRequest struct {
 // maxSweepCells bounds one sweep request's cross product.
 const maxSweepCells = 4096
 
-// sweepCell is one resolved (network, array, variant) combination.
+// sweepCell is one resolved (network, array, variant) combination — a
+// compile.Request plus the wire-form variant name the summary echoes.
 type sweepCell struct {
-	network model.Network
-	array   core.Array
+	req     compile.Request
 	variant string
-	opts    compile.Options
 }
 
-// sweepSummary is one NDJSON line of the sweep stream: the cell identity
-// plus its plan totals, or the per-cell error. Errors are per cell so one
-// failing combination reports itself in-line instead of tearing down the
-// whole stream.
+// sweepSummary is one NDJSON line of the sweep stream (and one entry of a
+// sweep job's results): the cell identity plus its plan totals, or the
+// per-cell error. Errors are per cell so one failing combination reports
+// itself in-line instead of tearing down the whole stream.
 type sweepSummary struct {
 	Network        string  `json:"network"`
 	Array          string  `json:"array"`
@@ -54,7 +57,8 @@ type sweepSummary struct {
 }
 
 // cells resolves the request's cross product up front, so reference errors
-// surface as one structured 422 before the stream commits to a 200.
+// surface as one structured 422 before the stream commits to a 200 (or a
+// job is accepted).
 func (req *sweepRequest) cells() ([]sweepCell, *httpError) {
 	if len(req.Networks) == 0 {
 		return nil, errorf(http.StatusUnprocessableEntity, `missing "networks"`)
@@ -108,20 +112,72 @@ func (req *sweepRequest) cells() ([]sweepCell, *httpError) {
 				}
 				opts := base
 				opts.Variant = v
-				cells = append(cells, sweepCell{network: n, array: a, variant: vName, opts: opts})
+				cells = append(cells, sweepCell{req: compile.NewRequest(n, a, opts), variant: vName})
 			}
 		}
 	}
 	return cells, nil
 }
 
+// runSweep is the one sweep executor behind both the synchronous NDJSON
+// stream and sweep jobs: it fans cells over at most one worker per
+// compilation slot, delivers each cell's summary to emit in completion
+// order as soon as its compilation (or cache hit) finishes, and stops
+// dispatching new cells once ctx ends — cells already past admission stop
+// at their searches' next cancellation checkpoint and are not emitted.
+// It returns ctx's error when the sweep was cut short, nil when every cell
+// was delivered. emit is called from the caller's goroutine only.
+func (s *Server) runSweep(ctx context.Context, cells []sweepCell, emit func(sweepSummary)) error {
+	results := make(chan sweepSummary)
+	go func() {
+		workers := min(len(cells), cap(s.sem))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for range workers {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					// The dispatch checkpoint: no new cell starts after the
+					// sweep's context ends.
+					if i >= len(cells) || ctx.Err() != nil {
+						return
+					}
+					sum, err := s.runCell(ctx, cells[i])
+					if err != nil {
+						// Context end mid-cell: the cell is incomplete, not
+						// failed — nothing is emitted for it.
+						return
+					}
+					results <- sum
+				}
+			}()
+		}
+		wg.Wait()
+		close(results)
+	}()
+	delivered := 0
+	for sum := range results {
+		delivered++
+		emit(sum)
+	}
+	if delivered == len(cells) {
+		// Every cell was delivered: the sweep is complete even if the
+		// context expired in the instant after the last cell finished.
+		return nil
+	}
+	return ctx.Err()
+}
+
 // handleSweep streams one NDJSON summary per cell, in completion order.
 // Sweeps are admitted through their own semaphore (one unit per stream,
-// sized like the compilation pool; beyond it: 503), and each stream fans
-// its cells over at most one worker per compilation slot — so M sweeps park
-// O(M × MaxConcurrent) goroutines, not M × 4096, and cannot pile up
-// unboundedly behind the compile endpoint's slots. Each line is flushed as
-// soon as its compilation (or cache hit) finishes.
+// sized like the compilation pool; beyond it: 503) and then run through
+// runSweep — the same machinery sweep jobs use — under the request's
+// context, so a dropped connection stops scheduling cells and frees every
+// slot. A sweep cut short by the per-request deadline appends one final
+// error line so a still-connected client can tell the stream from a
+// complete one.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
 	if herr := decodeJSONBody(w, r, s.maxBody, &req); herr != nil {
@@ -143,67 +199,61 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
-
-	results := make(chan sweepSummary)
-	go func() {
-		workers := min(len(cells), cap(s.sem))
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for range workers {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(cells) {
-						return
-					}
-					results <- s.runCell(r, cells[i])
-				}
-			}()
-		}
-		wg.Wait()
-		close(results)
-	}()
+	if flusher != nil {
+		// Commit the headers now: the client sees the 200 as soon as the
+		// stream is admitted, not when the first (possibly slow) cell lands.
+		flusher.Flush()
+	}
 
 	enc := json.NewEncoder(w)
 	broken := false // client gone: keep draining so cell goroutines can exit
-	for sum := range results {
+	err := s.runSweep(ctx, cells, func(sum sweepSummary) {
 		if broken {
-			continue
+			return
 		}
 		if err := enc.Encode(sum); err != nil {
 			broken = true
-			continue
+			return
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+	})
+	if errors.Is(err, context.DeadlineExceeded) && !broken {
+		enc.Encode(sweepSummary{Error: fmt.Sprintf("sweep aborted: %v", err)})
 	}
 }
 
 // runCell compiles one sweep cell through the plan cache (blocking
-// admission — the cells belong to one already-admitted request) and
-// summarizes its totals.
-func (s *Server) runCell(r *http.Request, c sweepCell) sweepSummary {
+// admission — the cells belong to one already-admitted request or job) and
+// summarizes its totals. A context end is returned as the error — the cell
+// is incomplete, not failed; every other failure is folded into the
+// summary's Error field so the sweep keeps going.
+func (s *Server) runCell(ctx context.Context, c sweepCell) (sweepSummary, error) {
 	sum := sweepSummary{
-		Network: c.network.Name,
-		Array:   c.array.String(),
-		Scheme:  c.opts.Scheme.String(),
+		Network: c.req.Network.Name,
+		Array:   c.req.Array.String(),
+		Scheme:  c.req.Options.Scheme.String(),
 		Variant: c.variant,
 	}
-	key, err := compile.Key(c.network, c.array, c.opts)
+	key, err := compile.Key(c.req)
 	if err != nil {
 		sum.Error = err.Error()
-		return sum
+		return sum, nil
 	}
-	entry, cached, err := s.compilePlan(r, key, c.network, c.array, c.opts, true)
+	entry, cached, err := s.compilePlan(ctx, key, c.req, true)
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return sweepSummary{}, err
+		}
 		sum.Error = err.Error()
-		return sum
+		return sum, nil
 	}
 	t := entry.plan.Totals
 	sum.Cycles = t.Cycles
@@ -213,5 +263,5 @@ func (s *Server) runCell(r *http.Request, c sweepCell) sweepSummary {
 	sum.Makespan = t.Makespan
 	sum.EnergyTotalJ = t.Energy.EnergyTotal
 	sum.Cached = cached
-	return sum
+	return sum, nil
 }

@@ -28,6 +28,8 @@
 package vwsdk
 
 import (
+	"context"
+
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -100,8 +102,16 @@ func VW(l Layer, a Array, pw Window) (Mapping, error) { return core.VW(l, a, pw)
 // SearchVWSDK runs Algorithm 1: the optimal parallel-window search. The
 // default implementation walks only breakpoints of eq. 8's step functions
 // (O(√Rows + √Cols) cost classes per IFM row instead of O(PaddedW)
-// candidates) and is bit-identical to the brute-force sweep.
+// candidates) and is bit-identical to the brute-force sweep. It is the
+// context-free convenience form of SearchVWSDKContext.
 func SearchVWSDK(l Layer, a Array) (SearchResult, error) { return core.SearchVWSDK(l, a) }
+
+// SearchVWSDKContext is SearchVWSDK under a caller context: the search loop
+// runs a cooperative cancellation checkpoint once per candidate row, so a
+// cancelled or expired context actually stops the work.
+func SearchVWSDKContext(ctx context.Context, l Layer, a Array) (SearchResult, error) {
+	return core.SearchVWSDKContext(ctx, l, a)
+}
 
 // SearchVWSDKExhaustive runs the brute-force Algorithm 1 sweep — the
 // reference the pruned default is differentially tested against. It returns
@@ -117,16 +127,33 @@ func ExhaustiveSearchCandidates(l Layer, v Variant) int64 {
 	return core.ExhaustiveCandidates(l, v)
 }
 
-// SearchSDK runs the square-window SDK baseline search.
+// SearchSDK runs the square-window SDK baseline search (context-free form
+// of SearchSDKContext).
 func SearchSDK(l Layer, a Array) (SearchResult, error) { return core.SearchSDK(l, a) }
 
-// SearchSMD runs the sub-matrix-duplication baseline search.
+// SearchSDKContext is SearchSDK under a caller context.
+func SearchSDKContext(ctx context.Context, l Layer, a Array) (SearchResult, error) {
+	return core.SearchSDKContext(ctx, l, a)
+}
+
+// SearchSMD runs the sub-matrix-duplication baseline search (context-free
+// form of SearchSMDContext).
 func SearchSMD(l Layer, a Array) (SearchResult, error) { return core.SearchSMD(l, a) }
 
+// SearchSMDContext is SearchSMD under a caller context.
+func SearchSMDContext(ctx context.Context, l Layer, a Array) (SearchResult, error) {
+	return core.SearchSMDContext(ctx, l, a)
+}
+
 // SearchVariant runs an ablated VW-SDK search (breakpoint-pruned, like
-// SearchVWSDK).
+// SearchVWSDK; context-free form of SearchVariantContext).
 func SearchVariant(l Layer, a Array, v Variant) (SearchResult, error) {
 	return core.SearchVariant(l, a, v)
+}
+
+// SearchVariantContext is SearchVariant under a caller context.
+func SearchVariantContext(ctx context.Context, l Layer, a Array, v Variant) (SearchResult, error) {
+	return core.SearchVariantContext(ctx, l, a, v)
 }
 
 // SearchVariantExhaustive runs an ablated search with the brute-force
@@ -256,13 +283,21 @@ func ExperimentFig9a(a Array) (*Experiment, error) { return experiments.Fig9a(a)
 // NetworkResult aggregates per-layer search results and network totals.
 type NetworkResult = core.NetworkResult
 
-// SearchNetwork optimizes every layer concurrently and sums the totals.
+// SearchNetwork optimizes every layer concurrently and sums the totals
+// (context-free form of SearchNetworkContext).
 func SearchNetwork(layers []Layer, a Array) (NetworkResult, error) {
 	return core.SearchNetwork(layers, a)
 }
 
+// SearchNetworkContext is SearchNetwork under a caller context; cancelling
+// it stops every in-flight layer search at its next checkpoint.
+func SearchNetworkContext(ctx context.Context, layers []Layer, a Array) (NetworkResult, error) {
+	return core.SearchNetworkContext(ctx, layers, a)
+}
+
 // Searcher abstracts the mapping searches; both the serial reference
 // implementation (SerialSearcher) and the concurrent Engine satisfy it.
+// Every method is context-first (see core.Searcher).
 type Searcher = core.Searcher
 
 // SerialSearcher returns the Searcher backed by the single-threaded
@@ -313,9 +348,17 @@ func WithExhaustiveSearch() EngineOption { return engine.WithExhaustiveSearch() 
 // layer searches fan across the worker pool and repeated layer shapes
 // are costed once. Results are bit-identical to SearchNetwork. Callers
 // optimizing several networks or arrays should build one Engine (or use
-// Engine.Sweep) to share its cache across calls.
+// Engine.Sweep) to share its cache across calls. It is the context-free
+// convenience form of SearchNetworkParallelContext.
 func SearchNetworkParallel(layers []Layer, a Array, opts ...EngineOption) (NetworkResult, error) {
-	return engine.New(opts...).SearchNetwork(layers, a)
+	return SearchNetworkParallelContext(context.Background(), layers, a, opts...)
+}
+
+// SearchNetworkParallelContext is SearchNetworkParallel under a caller
+// context: cancellation propagates into the engine's worker pool and every
+// search loop.
+func SearchNetworkParallelContext(ctx context.Context, layers []Layer, a Array, opts ...EngineOption) (NetworkResult, error) {
+	return engine.New(opts...).SearchNetwork(ctx, layers, a)
 }
 
 // ExplainSearch renders a step-by-step, equation-referenced derivation of a
@@ -355,16 +398,36 @@ type LayerPlan = compile.LayerPlan
 // PlanTotals are a NetworkPlan's whole-network aggregates.
 type PlanTotals = compile.Totals
 
+// CompileRequest is the canonical description of one compilation — the one
+// request type shared by CompileContext, CompileKey, cmd/vwsdk's flags and
+// vwsdkd's HTTP bodies. See compile.Request.
+type CompileRequest = compile.Request
+
+// NewCompileRequest assembles a CompileRequest from its parts.
+func NewCompileRequest(n Network, a Array, opts CompileOptions) CompileRequest {
+	return compile.NewRequest(n, a, opts)
+}
+
 // NewCompiler returns a Compiler running its searches through s; a nil s
 // selects a fresh concurrent engine. Share one Compiler across compilations
-// to reuse its search cache.
+// to reuse its search cache. Compiler.Compile is context-first:
+// Compile(ctx, CompileRequest).
 func NewCompiler(s Searcher) *Compiler { return compile.New(s) }
 
 // Compile compiles network n for array a under opts through a fresh
 // concurrent engine. Callers compiling several networks, arrays or option
-// sets should build one NewCompiler and reuse it.
+// sets should build one NewCompiler and reuse it; callers that need
+// cancellation or deadlines should use CompileContext, of which this is the
+// context-free convenience form.
 func Compile(n Network, a Array, opts CompileOptions) (*NetworkPlan, error) {
-	return compile.New(nil).Compile(n, a, opts)
+	return CompileContext(context.Background(), NewCompileRequest(n, a, opts))
+}
+
+// CompileContext compiles one canonical request through a fresh concurrent
+// engine under ctx: cancelling it aborts every in-flight layer search at
+// its next checkpoint and returns an error wrapping ctx.Err().
+func CompileContext(ctx context.Context, req CompileRequest) (*NetworkPlan, error) {
+	return compile.New(nil).Compile(ctx, req)
 }
 
 // NetworkPlanFromJSON deserializes a plan produced by NetworkPlan.ToJSON and
@@ -384,16 +447,22 @@ func SingleLayerNetwork(l Layer) Network { return model.Single(l) }
 
 // CompileKey returns the canonical cache key of one compilation — two calls
 // with the same key would produce equivalent plans, so serving layers can
-// memoize Compile on it.
+// memoize Compile on it. It is the argument-triple convenience form of
+// CompileRequestKey.
 func CompileKey(n Network, a Array, opts CompileOptions) (string, error) {
-	return compile.Key(n, a, opts)
+	return compile.Key(compile.NewRequest(n, a, opts))
 }
 
-// Server is the HTTP compile service behind cmd/vwsdkd: POST /v1/compile
-// and /v1/sweep on one shared engine, with a whole-plan LRU cache,
-// singleflight coalescing of identical concurrent requests, bounded
-// concurrency and structured errors. A *Server is an http.Handler. See
-// server.Server.
+// CompileRequestKey is CompileKey on the canonical request type.
+func CompileRequestKey(req CompileRequest) (string, error) { return compile.Key(req) }
+
+// Server is the HTTP compile service behind cmd/vwsdkd: synchronous
+// POST /v1/compile and /v1/sweep plus the asynchronous job API
+// (POST/GET/DELETE /v1/jobs) on one shared engine, with a whole-plan LRU
+// cache, singleflight coalescing of identical concurrent requests, bounded
+// concurrency, per-request cancellation (client disconnects stop the
+// underlying search) and structured errors. A *Server is an http.Handler.
+// See server.Server.
 type Server = server.Server
 
 // ServerConfig configures a Server; the zero value is usable.

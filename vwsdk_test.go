@@ -1,6 +1,7 @@
 package vwsdk
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -303,7 +304,7 @@ func TestFacadeExhaustiveSearch(t *testing.T) {
 	if vp.Best != ve.Best {
 		t.Error("variant pruned/exhaustive disagree")
 	}
-	es, err := ExhaustiveSearcher().SearchVWSDK(l, PaperArray)
+	es, err := ExhaustiveSearcher().SearchVWSDK(context.Background(), l, PaperArray)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +312,7 @@ func TestFacadeExhaustiveSearch(t *testing.T) {
 		t.Error("ExhaustiveSearcher disagrees with SearchVWSDKExhaustive")
 	}
 	eng := NewEngine(WithExhaustiveSearch())
-	er, err := eng.SearchVWSDK(l, PaperArray)
+	er, err := eng.SearchVWSDK(context.Background(), l, PaperArray)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,14 +357,14 @@ func TestFacadeEngine(t *testing.T) {
 	}
 
 	eng := NewEngine(WithWorkers(2))
-	res, err := eng.SearchVWSDK(layers[3], a)
+	res, err := eng.SearchVWSDK(context.Background(), layers[3], a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Best.TileString() != "4x3x42x256" {
 		t.Errorf("conv4 tile = %s, want 4x3x42x256", res.Best.TileString())
 	}
-	cells := eng.Sweep([]Network{ResNet18()}, []Array{{Rows: 256, Cols: 256}, a},
+	cells := eng.Sweep(context.Background(), []Network{ResNet18()}, []Array{{Rows: 256, Cols: 256}, a},
 		[]Variant{VariantFull})
 	if len(cells) != 2 {
 		t.Fatalf("sweep returned %d cells, want 2", len(cells))
@@ -403,7 +404,7 @@ func TestFacadeCompile(t *testing.T) {
 	}
 
 	comp := NewCompiler(NewEngine(WithWorkers(2)))
-	sdk, err := comp.Compile(ResNet18(), PaperArray, CompileOptions{Scheme: CompileSDK})
+	sdk, err := comp.Compile(context.Background(), NewCompileRequest(ResNet18(), PaperArray, CompileOptions{Scheme: CompileSDK}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +437,7 @@ func TestFacadeCompile(t *testing.T) {
 	}
 
 	single := SingleLayerNetwork(Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64})
-	lp, err := comp.CompileLayer(single.Layers[0].Layer, PaperArray, CompileOptions{Plans: true})
+	lp, err := comp.CompileLayer(context.Background(), single.Layers[0].Layer, PaperArray, CompileOptions{Plans: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,5 +479,55 @@ func TestFacadeServer(t *testing.T) {
 	}
 	if key == "" || !strings.Contains(key, "ResNet-18") {
 		t.Errorf("compile key %q", key)
+	}
+}
+
+// TestFacadeContextForms pins the ctx-first facade surface: the Context
+// forms return exactly what the context-free wrappers return under a live
+// context, and honor cancellation under a dead one.
+func TestFacadeContextForms(t *testing.T) {
+	ctx := context.Background()
+	l := Layer{Name: "conv4", IW: 14, IH: 14, KW: 3, KH: 3, IC: 256, OC: 256}
+	plain, err := SearchVWSDK(l, PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := SearchVWSDKContext(ctx, l, PaperArray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != withCtx {
+		t.Error("SearchVWSDKContext differs from SearchVWSDK")
+	}
+	req := NewCompileRequest(ResNet18(), PaperArray, CompileOptions{})
+	plan, err := CompileContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Totals.Cycles != 4294 {
+		t.Errorf("CompileContext total = %d, want 4294", plan.Totals.Cycles)
+	}
+	k1, err := CompileKey(ResNet18(), PaperArray, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := CompileRequestKey(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("CompileKey and CompileRequestKey disagree on the same request")
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := CompileContext(cancelled, req); err == nil {
+		t.Error("CompileContext ignored a cancelled context")
+	}
+	if _, err := SearchNetworkContext(cancelled, ResNet18().CoreLayers(), PaperArray); err == nil {
+		t.Error("SearchNetworkContext ignored a cancelled context")
+	}
+	if _, err := SearchNetworkParallelContext(cancelled, ResNet18().CoreLayers(), PaperArray); err == nil {
+		t.Error("SearchNetworkParallelContext ignored a cancelled context")
 	}
 }
