@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// A waiter joins a leader's in-flight search; the leader is cancelled. The
+// waiter (whose own context is live) recomputes — it must receive the real
+// recomputed result, not core.Result{} with a nil error.
+func TestWaiterRecomputeAfterCancelledLeader(t *testing.T) {
+	e := New(WithWorkers(2))
+	k := cacheKey{}
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderEntered := make(chan struct{})
+	leaderGo := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := e.memoized(leaderCtx, k, "l", func(ctx context.Context) (core.Result, error) {
+			close(leaderEntered)
+			<-leaderGo
+			return core.Result{}, ctx.Err()
+		})
+		leaderDone <- err
+	}()
+	<-leaderEntered
+
+	want := core.Result{Best: core.Mapping{Cycles: 42}}
+	waiterDone := make(chan struct{})
+	var gotRes core.Result
+	var gotErr error
+	go func() {
+		defer close(waiterDone)
+		gotRes, gotErr = e.memoized(context.Background(), k, "l", func(ctx context.Context) (core.Result, error) {
+			return want, nil
+		})
+	}()
+
+	cancelLeader()
+	close(leaderGo)
+	<-leaderDone
+	<-waiterDone
+
+	if gotErr != nil {
+		t.Fatalf("waiter err = %v, want nil", gotErr)
+	}
+	if gotRes.Best.Cycles != 42 {
+		t.Fatalf("waiter got %+v, want the recomputed result (Cycles=42) — empty result with nil error", gotRes)
+	}
+}
