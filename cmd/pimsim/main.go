@@ -67,6 +67,7 @@ func run(args []string, out io.Writer) error {
 	fs.IntVar(&lf.OC, "oc", 64, "output channels")
 	fs.IntVar(&lf.Stride, "stride", 1, "convolution stride")
 	fs.IntVar(&lf.Pad, "pad", 0, "zero padding")
+	fs.IntVar(&lf.Groups, "groups", 1, "convolution groups (ic for depthwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,7 +104,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	ifm := tensor.RandTensor3(*seed, l.IC, l.IH, l.IW)
-	w := tensor.RandTensor4(*seed^0x9e3779b97f4a7c15, l.OC, l.IC, l.KH, l.KW)
+	w := tensor.RandTensor4(*seed^0x9e3779b97f4a7c15, l.OC, l.ICg(), l.KH, l.KW)
 	got, stats, err := mapping.Run(m, ifm, w, opts...)
 	if err != nil {
 		return err

@@ -53,7 +53,7 @@ func resolveNetwork(spec string) (model.Network, error) {
 func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vwsdk", flag.ContinueOnError)
 	var (
-		network = fs.String("network", "", "predefined network (VGG-13, ResNet-18, VGG-16, AlexNet) or a JSON spec file; overrides the layer flags")
+		network = fs.String("network", "", "predefined network (VGG-13, ResNet-18, VGG-16, AlexNet, MobileNet-V2, ResNeXt-50) or a JSON spec file; overrides the layer flags")
 		arraySp = fs.String("array", "512x512", "PIM array size RowsxCols")
 		nArrays = fs.Int("arrays", 1, "number of crossbars on the chip (multi-array makespan)")
 		explain = fs.Bool("explain", false, "print the equation-by-equation derivation (single layer only)")
@@ -72,6 +72,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	fs.IntVar(&lf.OC, "oc", 256, "output channels")
 	fs.IntVar(&lf.Stride, "stride", 1, "convolution stride")
 	fs.IntVar(&lf.Pad, "pad", 0, "zero padding")
+	fs.IntVar(&lf.Groups, "groups", 1, "convolution groups (ic for depthwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

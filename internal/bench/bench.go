@@ -51,10 +51,11 @@ type Workload struct {
 }
 
 // Standard returns the standardized workload set: every distinct Table-I
-// layer shape of VGG-13 and ResNet-18 on square 256/512/1024 arrays, then
-// the large-IFM stress layers (512×512 and beyond — IFMs on which the
-// exhaustive sweep enumerates 10⁵–10⁶ candidates and was previously the
-// cold-compile bottleneck).
+// layer shape of VGG-13 and ResNet-18 on square 256/512/1024 arrays, a
+// representative slice of MobileNet-V2 (grouped/depthwise rows, which also
+// report the dense-equivalent candidate counts), then the large-IFM stress
+// layers (512×512 and beyond — IFMs on which the exhaustive sweep enumerates
+// 10⁵–10⁶ candidates and was previously the cold-compile bottleneck).
 func Standard() []Workload {
 	arrays := []core.Array{{Rows: 256, Cols: 256}, {Rows: 512, Cols: 512}, {Rows: 1024, Cols: 1024}}
 	var out []Workload
@@ -68,6 +69,27 @@ func Standard() []Workload {
 					Array:   a,
 				})
 			}
+		}
+	}
+	// MobileNet-V2 rows: the stem plus one depthwise layer per IFM scale
+	// (strided and unstrided) and the widest expand, kept to a slice so the
+	// exhaustive comparison stays timeable — the remaining shapes repeat
+	// these geometries at other channel widths.
+	mobile := map[string]bool{
+		"conv1": true, "dw1": true, "dw2_1": true, "pj2_1": true,
+		"dw144": true, "dw384": true, "ex64_384": true, "dw960": true,
+	}
+	for _, a := range arrays {
+		for _, cl := range model.MobileNetV2().Layers {
+			if !mobile[cl.Name] {
+				continue
+			}
+			out = append(out, Workload{
+				Name:    fmt.Sprintf("MobileNet-V2/%s@%s", cl.Name, a),
+				Network: "MobileNet-V2",
+				Layer:   cl.Layer,
+				Array:   a,
+			})
 		}
 	}
 	stress := []core.Layer{
@@ -111,6 +133,14 @@ type LayerResult struct {
 	CandidatesFeasible   int     `json:"candidates_feasible"`
 	CandidatesExhaustive int64   `json:"candidates_exhaustive"`
 	Reduction            float64 `json:"reduction"`
+
+	// DenseEquivalentCosted/DenseEquivalentFeasible (grouped layers only)
+	// are the pruned search's candidate statistics for the same geometry
+	// with grouping dropped. Window feasibility is group-independent, so
+	// the feasible counts must match; the cost-class count may differ
+	// because the per-group channel caps move the class breakpoints.
+	DenseEquivalentCosted   int `json:"dense_equivalent_costed,omitempty"`
+	DenseEquivalentFeasible int `json:"dense_equivalent_feasible,omitempty"`
 
 	// ExhaustiveNsPerOp times the brute-force sweep (omitted for stress
 	// workloads); SpeedupVsExhaustive is the wall-clock ratio.
@@ -246,6 +276,16 @@ func measure(ctx context.Context, w Workload, opts Options) (LayerResult, error)
 	}
 	if res.Evaluated > 0 {
 		out.Reduction = round1(float64(out.CandidatesExhaustive) / float64(res.Evaluated))
+	}
+	if l.NumGroups() > 1 {
+		dense := l
+		dense.Groups = 0
+		dres, err := core.SearchVWSDKContext(ctx, dense, w.Array)
+		if err != nil {
+			return LayerResult{}, fmt.Errorf("dense equivalent: %w", err)
+		}
+		out.DenseEquivalentCosted = dres.Evaluated
+		out.DenseEquivalentFeasible = dres.Swept
 	}
 	out.NsPerOp, out.AllocsPerOp, out.Iters = timeIt(opts, func() {
 		if _, err := core.SearchVWSDK(l, w.Array); err != nil {

@@ -34,14 +34,52 @@ func TestStandardWorkloads(t *testing.T) {
 			perArray[w.Array.String()]++
 		}
 	}
-	// 10 VGG-13 + 5 ResNet-18 distinct shapes per array.
+	// 10 VGG-13 + 5 ResNet-18 + 8 MobileNet-V2 distinct shapes per array.
 	for _, a := range []string{"256x256", "512x512", "1024x1024"} {
-		if perArray[a] != 15 {
-			t.Errorf("%s: %d Table-I workloads, want 15", a, perArray[a])
+		if perArray[a] != 23 {
+			t.Errorf("%s: %d zoo workloads, want 23", a, perArray[a])
 		}
 	}
 	if stress == 0 {
 		t.Error("no stress workloads")
+	}
+	grouped := 0
+	for _, w := range Standard() {
+		if w.Layer.NumGroups() > 1 {
+			grouped++
+		}
+	}
+	if grouped < 9 {
+		t.Errorf("%d grouped workloads, want the depthwise MobileNet-V2 rows on all arrays", grouped)
+	}
+}
+
+// TestRunGroupedReportsDenseEquivalent pins the grouped bench rows' extra
+// columns: the dense-equivalent feasible count must equal the grouped one
+// (window feasibility is group-independent), and dense rows omit the fields.
+func TestRunGroupedReportsDenseEquivalent(t *testing.T) {
+	rep, err := Run(context.Background(), Options{Once: true, Filter: "MobileNet-V2/dw384@512x512"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 1 {
+		t.Fatalf("got %d workloads", len(rep.Workloads))
+	}
+	r := rep.Workloads[0]
+	if r.DenseEquivalentCosted <= 0 {
+		t.Fatalf("grouped row missing dense-equivalent stats: %+v", r)
+	}
+	if r.DenseEquivalentFeasible != r.CandidatesFeasible {
+		t.Errorf("dense-equivalent feasible %d != grouped feasible %d (feasibility must be group-independent)",
+			r.DenseEquivalentFeasible, r.CandidatesFeasible)
+	}
+
+	dense, err := Run(context.Background(), Options{Once: true, Filter: "VGG-13/conv9@512x512"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dense.Workloads[0]; d.DenseEquivalentCosted != 0 || d.DenseEquivalentFeasible != 0 {
+		t.Errorf("dense row carries dense-equivalent stats: %+v", d)
 	}
 }
 

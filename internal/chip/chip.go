@@ -33,7 +33,8 @@ type LayerSchedule struct {
 	// Arrays is the number of crossbars used (≤ the chip size).
 	Arrays int
 
-	// Tiles is AR×AC, the weight tiles of the mapping.
+	// Tiles is AR×AC×Groups, the weight tiles of the mapping (a grouped
+	// layer lays out an independent AR×AC grid per convolution group).
 	Tiles int
 
 	// Replicas is the number of copies of each tile when the chip has
@@ -64,7 +65,7 @@ func ScheduleLayer(m core.Mapping, nArrays int) (LayerSchedule, error) {
 	if m.AR < 1 || m.AC < 1 || m.NPW < 1 {
 		return LayerSchedule{}, fmt.Errorf("chip: mapping not costed: %v", m)
 	}
-	tiles := m.AR * m.AC
+	tiles := m.Tiles()
 	npw := int64(m.NPW)
 	s := LayerSchedule{Mapping: m, Tiles: tiles}
 	if nArrays >= tiles {
@@ -83,7 +84,7 @@ func ScheduleLayer(m core.Mapping, nArrays int) (LayerSchedule, error) {
 		s.Makespan = int64(rounds) * npw
 		s.Programs = tiles
 	}
-	total := m.Cycles // AR·AC·NPW array-cycles of real work
+	total := m.Cycles // G·AR·AC·NPW array-cycles of real work
 	s.BusyFraction = float64(total) / (float64(s.Makespan) * float64(s.Arrays))
 	return s, nil
 }

@@ -199,3 +199,41 @@ func TestScale(t *testing.T) {
 		t.Error("uncosted mapping accepted")
 	}
 }
+
+// TestScheduleLayerGrouped: a grouped mapping schedules G·AR·AC weight tiles
+// — one AR×AC grid per convolution group — and the busy-fraction accounting
+// stays consistent (one array per tile sweeps NPW cycles at full utilization).
+func TestScheduleLayerGrouped(t *testing.T) {
+	l := core.Layer{IW: 14, IH: 14, KW: 3, KH: 3, IC: 32, OC: 32,
+		PadW: 1, PadH: 1, Groups: 32}
+	r, err := core.SearchVWSDK(l, a512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Best
+	wantTiles := m.AR * m.AC * 32
+	if m.Tiles() != wantTiles {
+		t.Fatalf("Tiles = %d, want %d", m.Tiles(), wantTiles)
+	}
+	s, err := ScheduleLayer(m, wantTiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tiles != wantTiles || s.Rounds != 1 || s.Programs != wantTiles {
+		t.Errorf("schedule = %+v", s)
+	}
+	if s.Makespan != int64(m.NPW) {
+		t.Errorf("makespan = %d, want %d (one sweep per tile)", s.Makespan, m.NPW)
+	}
+	if s.BusyFraction != 1.0 {
+		t.Errorf("busy = %v, want 1.0", s.BusyFraction)
+	}
+	// A single array serializes the G·AR·AC programs.
+	one, err := ScheduleLayer(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Makespan != m.Cycles || one.Rounds != wantTiles {
+		t.Errorf("single-array schedule = %+v, want makespan %d rounds %d", one, m.Cycles, wantTiles)
+	}
+}

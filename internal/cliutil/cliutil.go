@@ -159,6 +159,7 @@ type LayerFlags struct {
 	IC, OC int
 	Stride int
 	Pad    int
+	Groups int
 }
 
 // Layer converts the flag values into a validated core.Layer.
@@ -177,6 +178,7 @@ func (f LayerFlags) Layer(name string) (core.Layer, error) {
 		IC: f.IC, OC: f.OC,
 		StrideW: f.Stride, StrideH: f.Stride,
 		PadW: f.Pad, PadH: f.Pad,
+		Groups: f.Groups,
 	}
 	l = l.Normalized()
 	if err := l.Validate(); err != nil {

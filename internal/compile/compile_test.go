@@ -72,6 +72,44 @@ func TestCompileMatchesHandWiredPath(t *testing.T) {
 	}
 }
 
+// TestCompileGroupedNetworks: the grouped zoo networks compile end-to-end
+// with the group structure preserved into every layer plan, and the
+// grouped-layer totals remain consistent with the serial search path.
+func TestCompileGroupedNetworks(t *testing.T) {
+	c := New(engine.New())
+	for _, n := range []model.Network{model.MobileNetV2(), model.ResNeXt50()} {
+		p, err := c.Compile(bg, NewRequest(n, array512, Options{}))
+		if err != nil {
+			t.Fatalf("%s: %v", n.Name, err)
+		}
+		groupedLayers := 0
+		for i, lp := range p.Layers {
+			want := n.Layers[i].Layer.Normalized()
+			got := lp.Search.Best.Layer
+			if got.NumGroups() != want.NumGroups() {
+				t.Errorf("%s/%s: plan carries %d groups, want %d",
+					n.Name, want.Name, got.NumGroups(), want.NumGroups())
+			}
+			if want.NumGroups() > 1 {
+				groupedLayers++
+				if tiles := lp.Search.Best.Tiles(); tiles != lp.Search.Best.AR*lp.Search.Best.AC*want.NumGroups() {
+					t.Errorf("%s/%s: Tiles = %d, want AR*AC*G", n.Name, want.Name, tiles)
+				}
+			}
+		}
+		if groupedLayers == 0 {
+			t.Fatalf("%s: no grouped layers reached the compile pipeline", n.Name)
+		}
+		want, err := core.SearchNetwork(n.CoreLayers(), array512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Totals.Cycles != want.TotalCycles {
+			t.Errorf("%s: total cycles %d, want %d", n.Name, p.Totals.Cycles, want.TotalCycles)
+		}
+	}
+}
+
 // TestCompileSchemes pins each Scheme onto the search it selects.
 func TestCompileSchemes(t *testing.T) {
 	c := New(core.Serial{})

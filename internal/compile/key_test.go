@@ -70,6 +70,32 @@ func TestKeyCanonicalizes(t *testing.T) {
 	if other == base {
 		t.Error("different networks share a key")
 	}
+
+	// Groups is part of the layer identity: the same geometry grouped and
+	// dense must not collide, while a dense layer written with Groups 0
+	// vs 1 must (the canonical spec omits "groups" for both).
+	grouped := model.Single(core.Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64, Groups: 4})
+	dense := model.Single(core.Layer{Name: "c", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64})
+	gk, err := Key(NewRequest(grouped, array512, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk, err := Key(NewRequest(dense, array512, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk == dk {
+		t.Error("grouped and dense layers share a key")
+	}
+	denseOne := dense
+	denseOne.Layers[0].Layer.Groups = 1
+	dk1, err := Key(NewRequest(denseOne, array512, Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dk1 != dk {
+		t.Error("Groups 0 and Groups 1 dense layers mint different keys")
+	}
 	smaller, err := Key(NewRequest(n, core.Array{Rows: 256, Cols: 256}, Options{}))
 	if err != nil {
 		t.Fatal(err)

@@ -11,7 +11,10 @@ import (
 	"repro/internal/tensor"
 )
 
-// CheckShapes validates that ifm and w match the layer description l.
+// CheckShapes validates that ifm and w match the layer description l. For a
+// grouped layer the weight tensor is the compact grouped form: O = OC full
+// output channels, but only C = ICg = IC/Groups input channels per kernel
+// (kernel oc sees input block oc/OCg only); for a dense layer ICg == IC.
 func CheckShapes(l core.Layer, ifm *tensor.Tensor3, w *tensor.Tensor4) error {
 	l = l.Normalized()
 	if err := l.Validate(); err != nil {
@@ -20,14 +23,15 @@ func CheckShapes(l core.Layer, ifm *tensor.Tensor3, w *tensor.Tensor4) error {
 	if ifm.C != l.IC || ifm.H != l.IH || ifm.W != l.IW {
 		return fmt.Errorf("conv: IFM %v does not match layer %v", ifm, l)
 	}
-	if w.O != l.OC || w.C != l.IC || w.H != l.KH || w.W != l.KW {
+	if w.O != l.OC || w.C != l.ICg() || w.H != l.KH || w.W != l.KW {
 		return fmt.Errorf("conv: weights %v do not match layer %v", w, l)
 	}
 	return nil
 }
 
 // Reference computes the layer's convolution directly (no lowering): the
-// golden model. The returned OFM has shape OC×OutH×OutW.
+// golden model. The returned OFM has shape OC×OutH×OutW. Grouped layers sum
+// each output channel over its group's ICg input channels only.
 func Reference(l core.Layer, ifm *tensor.Tensor3, w *tensor.Tensor4) (*tensor.Tensor3, error) {
 	l = l.Normalized()
 	if err := CheckShapes(l, ifm, w); err != nil {
@@ -35,16 +39,18 @@ func Reference(l core.Layer, ifm *tensor.Tensor3, w *tensor.Tensor4) (*tensor.Te
 	}
 	padded := ifm.Pad(l.PadH, l.PadW)
 	out := tensor.NewTensor3(l.OC, l.OutH(), l.OutW())
+	icg, ocg := l.ICg(), l.OCg()
 	for oc := 0; oc < l.OC; oc++ {
+		cBase := (oc / ocg) * icg // first input channel of oc's group
 		for oy := 0; oy < l.OutH(); oy++ {
 			for ox := 0; ox < l.OutW(); ox++ {
 				var sum float64
-				for c := 0; c < l.IC; c++ {
+				for ci := 0; ci < icg; ci++ {
 					for ky := 0; ky < l.KH; ky++ {
 						iy := oy*l.StrideH + ky
 						for kx := 0; kx < l.KW; kx++ {
 							ix := ox*l.StrideW + kx
-							sum += padded.At(c, iy, ix) * w.At(oc, c, ky, kx)
+							sum += padded.At(cBase+ci, iy, ix) * w.At(oc, ci, ky, kx)
 						}
 					}
 				}
@@ -55,6 +61,41 @@ func Reference(l core.Layer, ifm *tensor.Tensor3, w *tensor.Tensor4) (*tensor.Te
 	return out, nil
 }
 
+// ExpandGrouped turns a grouped layer's compact weights (OC×ICg×KH×KW) into
+// the block-diagonal dense equivalent (OC×IC×KH×KW): kernel oc keeps its
+// values on its group's input channels and is zero elsewhere. Running the
+// dense Reference on the expanded weights reproduces the grouped convolution
+// exactly, which the differential tests pin.
+func ExpandGrouped(l core.Layer, w *tensor.Tensor4) (*tensor.Tensor4, error) {
+	l = l.Normalized()
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if w.O != l.OC || w.C != l.ICg() || w.H != l.KH || w.W != l.KW {
+		return nil, fmt.Errorf("conv: weights %v do not match layer %v", w, l)
+	}
+	icg, ocg := l.ICg(), l.OCg()
+	dense := tensor.NewTensor4(l.OC, l.IC, l.KH, l.KW)
+	for oc := 0; oc < l.OC; oc++ {
+		cBase := (oc / ocg) * icg
+		for ci := 0; ci < icg; ci++ {
+			for ky := 0; ky < l.KH; ky++ {
+				for kx := 0; kx < l.KW; kx++ {
+					dense.Set(oc, cBase+ci, ky, kx, w.At(oc, ci, ky, kx))
+				}
+			}
+		}
+	}
+	return dense, nil
+}
+
+// DenseEquivalent returns l with grouping removed: the dense layer that,
+// given ExpandGrouped weights, computes the same OFM as the grouped layer.
+func DenseEquivalent(l core.Layer) core.Layer {
+	l.Groups = 0
+	return l
+}
+
 // WeightMatrix lowers the OIHW weights into the im2col weight matrix: one
 // column per output channel, rows ordered channel-major then kernel
 // raster-order — the same order RowCoord/Im2colMatrix use, and the order in
@@ -63,6 +104,11 @@ func WeightMatrix(l core.Layer, w *tensor.Tensor4) (*tensor.Matrix, error) {
 	l = l.Normalized()
 	if err := l.Validate(); err != nil {
 		return nil, err
+	}
+	if l.NumGroups() > 1 {
+		// The flat lowering has no block structure; expand the weights with
+		// ExpandGrouped and lower the dense equivalent instead.
+		return nil, fmt.Errorf("conv: WeightMatrix is dense-only; layer %v has %d groups", l, l.NumGroups())
 	}
 	if w.O != l.OC || w.C != l.IC || w.H != l.KH || w.W != l.KW {
 		return nil, fmt.Errorf("conv: weights %v do not match layer %v", w, l)
@@ -88,6 +134,9 @@ func Im2colMatrix(l core.Layer, ifm *tensor.Tensor3) (*tensor.Matrix, error) {
 	l = l.Normalized()
 	if err := l.Validate(); err != nil {
 		return nil, err
+	}
+	if l.NumGroups() > 1 {
+		return nil, fmt.Errorf("conv: Im2colMatrix is dense-only; layer %v has %d groups", l, l.NumGroups())
 	}
 	if ifm.C != l.IC || ifm.H != l.IH || ifm.W != l.IW {
 		return nil, fmt.Errorf("conv: IFM %v does not match layer %v", ifm, l)

@@ -152,6 +152,89 @@ func TestLoweredMatchesReference(t *testing.T) {
 	}
 }
 
+// TestGroupedMatchesExpandedDense is the grouped-convolution differential
+// identity: a grouped convolution on compact OC×ICg weights equals a dense
+// convolution whose kernel is the G-block-diagonal expansion of those
+// weights (zeros everywhere a connection crosses groups). Random layers
+// cover proper grouping and the depthwise G == IC edge case.
+func TestGroupedMatchesExpandedDense(t *testing.T) {
+	f := func(seed uint64, iw, ih, k, icg, ocg, g, stride, pad uint8) bool {
+		groups := int(g%5) + 2
+		l := core.Layer{
+			IW: int(iw%10) + 4, IH: int(ih%10) + 4,
+			KW: int(k%3) + 1, KH: int(k%3) + 1,
+			IC: groups * (int(icg%3) + 1), OC: groups * (int(ocg%3) + 1),
+			StrideW: int(stride%2) + 1, StrideH: int(stride%2) + 1,
+			PadW: int(pad % 2), PadH: int(pad % 2),
+			Groups: groups,
+		}
+		if seed%4 == 0 { // depthwise edge case: one channel per group
+			l.IC, l.OC, l.Groups = groups, groups, groups
+		}
+		if l.Validate() != nil {
+			return true
+		}
+		ifm := tensor.RandTensor3(seed, l.IC, l.IH, l.IW)
+		w := tensor.RandTensor4(seed^0xabcdef, l.OC, l.ICg(), l.KH, l.KW)
+		grouped, err := Reference(l, ifm, w)
+		if err != nil {
+			return false
+		}
+		expanded, err := ExpandGrouped(l, w)
+		if err != nil {
+			return false
+		}
+		dense, err := Reference(DenseEquivalent(l), ifm, expanded)
+		if err != nil {
+			return false
+		}
+		return grouped.Equal(dense)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupedShapesAndDenseOnlyLowering: grouped layers take compact OC×ICg
+// weights (dense-shaped kernels are rejected), and the im2col lowering
+// helpers stay dense-only.
+func TestGroupedShapesAndDenseOnlyLowering(t *testing.T) {
+	l := core.Layer{IW: 6, IH: 6, KW: 3, KH: 3, IC: 8, OC: 8, Groups: 4}
+	compact := tensor.NewTensor4(8, 2, 3, 3)
+	if err := CheckShapes(l, tensor.NewTensor3(8, 6, 6), compact); err != nil {
+		t.Fatalf("compact grouped weights rejected: %v", err)
+	}
+	if err := CheckShapes(l, tensor.NewTensor3(8, 6, 6), tensor.NewTensor4(8, 8, 3, 3)); err == nil {
+		t.Error("dense-shaped weights accepted for grouped layer")
+	}
+	if _, err := WeightMatrix(l, compact); err == nil {
+		t.Error("WeightMatrix accepted grouped layer")
+	}
+	if _, err := Im2colMatrix(l, tensor.RandTensor3(1, 8, 6, 6)); err == nil {
+		t.Error("Im2colMatrix accepted grouped layer")
+	}
+	// ExpandGrouped produces block-diagonal dense weights: entries outside a
+	// kernel's own group are zero.
+	for i := range compact.Data {
+		compact.Data[i] = 1
+	}
+	dense, err := ExpandGrouped(l, compact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for oc := 0; oc < 8; oc++ {
+		for ci := 0; ci < 8; ci++ {
+			want := 0.0
+			if ci/2 == oc/2 { // same group (ICg = OCg = 2)
+				want = 1
+			}
+			if got := dense.At(oc, ci, 1, 1); got != want {
+				t.Fatalf("expanded[oc=%d][ci=%d] = %v, want %v", oc, ci, got, want)
+			}
+		}
+	}
+}
+
 // TestIm2colMatrixShape pins the matrix dimensions against the paper's
 // description: K·K·IC rows, one column per window.
 func TestIm2colMatrixShape(t *testing.T) {

@@ -87,15 +87,23 @@ type Mapping struct {
 	NPW int
 
 	// AR and AC are the array-row and array-column cycle multipliers
-	// (eqs. 5 and 7).
+	// (eqs. 5 and 7). For grouped layers they are per convolution group:
+	// ICt/OCt are capped at ICg/OCg because a group's kernels see only that
+	// group's input channels and a group cannot share array columns with
+	// another group.
 	AR, AC int
 
-	// Cycles is NPW × AR × AC (eq. 2/8).
+	// Cycles is NPW × AR × AC × Groups (eq. 2/8; the per-group grid runs
+	// once per convolution group).
 	Cycles int64
 }
 
 // Nw returns the number of windows sharing one parallel window (N_WP).
 func (m Mapping) Nw() int { return m.NwW * m.NwH }
+
+// Tiles returns the total number of array tiles the mapping occupies over
+// all convolution groups: AR × AC per group, times the group count.
+func (m Mapping) Tiles() int { return m.AR * m.AC * m.Layer.NumGroups() }
 
 // finish derives NPW, Cycles and validates tile counts. It assumes PW, NwW,
 // NwH, ICt, OCt, AR and AC are already set.
@@ -107,7 +115,7 @@ func (m Mapping) finish() Mapping {
 	if m.Scheme == SchemeSMD {
 		m.NPW = ceilDiv(l.Windows(), m.Dup)
 	}
-	m.Cycles = int64(m.NPW) * int64(m.AR) * int64(m.AC)
+	m.Cycles = int64(m.NPW) * int64(m.AR) * int64(m.AC) * int64(l.NumGroups())
 	return m
 }
 
@@ -130,11 +138,11 @@ func Im2col(l Layer, a Array) (Mapping, error) {
 		NwW:         1,
 		NwH:         1,
 		Dup:         1,
-		ICt:         l.IC,
-		OCt:         min(l.OC, a.Cols),
+		ICt:         l.ICg(),
+		OCt:         min(l.OCg(), a.Cols),
 		RowGranular: true,
 		AR:          ceilDiv(l.KernelRows(), a.Rows),
-		AC:          ceilDiv(l.OC, a.Cols),
+		AC:          ceilDiv(l.OCg(), a.Cols),
 	}
 	return m.finish(), nil
 }
@@ -162,12 +170,14 @@ func SMD(l Layer, a Array, dup int) (Mapping, error) {
 	m.Scheme = SchemeSMD
 	m.Dup = dup
 	if dup > 1 {
-		if dup*l.KernelRows() > a.Rows || dup*l.OC > a.Cols {
+		// The duplicated block-diagonal matrix is per group: each copy holds
+		// one group's KW·KH·ICg × OCg kernel matrix.
+		if dup*l.KernelRows() > a.Rows || dup*l.OCg() > a.Cols {
 			return Mapping{}, fmt.Errorf("core: SMD duplication %d exceeds array %s for %s: %w",
 				dup, a, l.Name, ErrInfeasible)
 		}
 		m.AR, m.AC = 1, 1
-		m.OCt = l.OC
+		m.OCt = l.OCg()
 	}
 	return m.finish(), nil
 }
@@ -194,12 +204,12 @@ func SDK(l Layer, a Array, pw Window) (Mapping, error) {
 		NwW:         nwW,
 		NwH:         nwH,
 		Dup:         1,
-		ICt:         l.IC,
-		OCt:         l.OC,
+		ICt:         l.ICg(),
+		OCt:         l.OCg(),
 		RowGranular: true,
 		ColGranular: true,
-		AR:          ceilDiv(pw.Area()*l.IC, a.Rows),
-		AC:          ceilDiv(nwW*nwH*l.OC, a.Cols),
+		AR:          ceilDiv(pw.Area()*l.ICg(), a.Rows),
+		AC:          ceilDiv(nwW*nwH*l.OCg(), a.Cols),
 	}
 	return m.finish(), nil
 }
@@ -207,10 +217,13 @@ func SDK(l Layer, a Array, pw Window) (Mapping, error) {
 // VW returns the cost of the paper's variable-window SDK mapping for a given
 // (possibly rectangular) parallel window pw, applying channel tiling:
 //
-//	ICt = floor(Rows/(PWw·PWh))   (eq. 4), AR = ceil(IC/ICt)  (eq. 5)
-//	OCt = floor(Cols/Nw)          (eq. 6), AC = ceil(OC/OCt)  (eq. 7)
+//	ICt = floor(Rows/(PWw·PWh))   (eq. 4), AR = ceil(ICg/ICt)  (eq. 5)
+//	OCt = floor(Cols/Nw)          (eq. 6), AC = ceil(OCg/OCt)  (eq. 7)
 //
-// ICt and OCt are capped at IC and OC. VW returns a wrapped ErrInfeasible
+// ICt and OCt are capped at the per-group channel counts ICg and OCg (for a
+// dense layer those are IC and OC); a grouped layer runs the per-group grid
+// once per group, so Cycles gains a ×Groups factor. VW returns a wrapped
+// ErrInfeasible
 // when not even one channel of the window fits the rows (ICt = 0) or one
 // parallel window's outputs exceed the columns (OCt = 0).
 //
@@ -254,8 +267,8 @@ func SweepVW(l Layer, a Array, pw Window) (Mapping, error) {
 	if ict < 1 || oct < 1 {
 		return Mapping{}, ErrInfeasible
 	}
-	ict = min(ict, l.IC)
-	oct = min(oct, l.OC)
+	ict = min(ict, l.ICg())
+	oct = min(oct, l.OCg())
 	m := Mapping{
 		Layer:  l,
 		Array:  a,
@@ -266,8 +279,8 @@ func SweepVW(l Layer, a Array, pw Window) (Mapping, error) {
 		Dup:    1,
 		ICt:    ict,
 		OCt:    oct,
-		AR:     ceilDiv(l.IC, ict),
-		AC:     ceilDiv(l.OC, oct),
+		AR:     ceilDiv(l.ICg(), ict),
+		AC:     ceilDiv(l.OCg(), oct),
 	}
 	return m.finish(), nil
 }

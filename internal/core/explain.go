@@ -13,6 +13,10 @@ func (m Mapping) Explain() string {
 	l := m.Layer.Normalized()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s mapping of %s onto a %s array\n", m.Scheme, l, m.Array)
+	if g := l.NumGroups(); g > 1 {
+		fmt.Fprintf(&b, "  grouped conv: %d groups of ICg=%d -> OCg=%d channels, mapped per group\n",
+			g, l.ICg(), l.OCg())
+	}
 	switch m.Scheme {
 	case SchemeIm2col:
 		fmt.Fprintf(&b, "  window = kernel %s: one output position per cycle\n", m.PW)
@@ -21,10 +25,10 @@ func (m Mapping) Explain() string {
 		fmt.Fprintf(&b, "  AR (eq.1, rows)  = ceil(K*K*IC / Rows) = ceil(%d/%d) = %d\n",
 			l.KernelRows(), m.Array.Rows, m.AR)
 		fmt.Fprintf(&b, "  AC (eq.1, cols)  = ceil(OC / Cols) = ceil(%d/%d) = %d\n",
-			l.OC, m.Array.Cols, m.AC)
+			l.OCg(), m.Array.Cols, m.AC)
 	case SchemeSMD:
 		fmt.Fprintf(&b, "  %d block-diagonal kernel copies (%d rows x %d cols)\n",
-			m.Dup, m.Dup*l.KernelRows(), m.Dup*l.OC)
+			m.Dup, m.Dup*l.KernelRows(), m.Dup*l.OCg())
 		fmt.Fprintf(&b, "  window groups    = ceil(windows / dup) = ceil(%d/%d) = %d\n",
 			l.Windows(), m.Dup, m.NPW)
 		fmt.Fprintf(&b, "  AR x AC          = %d x %d\n", m.AR, m.AC)
@@ -35,26 +39,31 @@ func (m Mapping) Explain() string {
 		fmt.Fprintf(&b, "  N_PW (eq.3)      = ceil(%d/%d) x ceil(%d/%d) = %d\n",
 			l.OutW(), m.NwW, l.OutH(), m.NwH, m.NPW)
 		fmt.Fprintf(&b, "  AR (eq.1, rows)  = ceil(PW area * IC / Rows) = ceil(%d/%d) = %d\n",
-			m.PW.Area()*l.IC, m.Array.Rows, m.AR)
+			m.PW.Area()*l.ICg(), m.Array.Rows, m.AR)
 		fmt.Fprintf(&b, "  AC (eq.1, cols)  = ceil(Nw * OC / Cols) = ceil(%d/%d) = %d\n",
-			m.Nw()*l.OC, m.Array.Cols, m.AC)
+			m.Nw()*l.OCg(), m.Array.Cols, m.AC)
 	case SchemeVWSDK:
 		fmt.Fprintf(&b, "  variable parallel window %s with channel tiling\n", m.PW)
 		fmt.Fprintf(&b, "  Nw               = %dx%d = %d windows share the input patch\n",
 			m.NwW, m.NwH, m.Nw())
 		fmt.Fprintf(&b, "  ICt (eq.4)       = floor(Rows / PW area) = floor(%d/%d) = %d (capped at IC=%d)\n",
-			m.Array.Rows, m.PW.Area(), m.ICt, l.IC)
+			m.Array.Rows, m.PW.Area(), m.ICt, l.ICg())
 		fmt.Fprintf(&b, "  AR  (eq.5)       = ceil(IC / ICt) = ceil(%d/%d) = %d\n",
-			l.IC, m.ICt, m.AR)
+			l.ICg(), m.ICt, m.AR)
 		fmt.Fprintf(&b, "  OCt (eq.6)       = floor(Cols / Nw) = floor(%d/%d) = %d (capped at OC=%d)\n",
-			m.Array.Cols, m.Nw(), m.OCt, l.OC)
+			m.Array.Cols, m.Nw(), m.OCt, l.OCg())
 		fmt.Fprintf(&b, "  AC  (eq.7)       = ceil(OC / OCt) = ceil(%d/%d) = %d\n",
-			l.OC, m.OCt, m.AC)
+			l.OCg(), m.OCt, m.AC)
 		fmt.Fprintf(&b, "  N_PW (eq.3)      = ceil(%d/%d) x ceil(%d/%d) = %d\n",
 			l.OutW(), m.NwW, l.OutH(), m.NwH, m.NPW)
 	}
-	fmt.Fprintf(&b, "  cycles (eq.8)    = N_PW x AR x AC = %d x %d x %d = %d\n",
-		m.NPW, m.AR, m.AC, m.Cycles)
+	if g := l.NumGroups(); g > 1 {
+		fmt.Fprintf(&b, "  cycles (eq.8)    = N_PW x AR x AC x G = %d x %d x %d x %d = %d\n",
+			m.NPW, m.AR, m.AC, g, m.Cycles)
+	} else {
+		fmt.Fprintf(&b, "  cycles (eq.8)    = N_PW x AR x AC = %d x %d x %d = %d\n",
+			m.NPW, m.AR, m.AC, m.Cycles)
+	}
 	fmt.Fprintf(&b, "  utilization      = %.1f%% avg, %.1f%% peak (eq.9)\n",
 		m.Utilization(), m.PeakUtilization())
 	return b.String()

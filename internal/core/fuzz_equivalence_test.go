@@ -10,15 +10,24 @@ import (
 // Im2col must be identical field-for-field (cycles, PW, ICt, OCt and the
 // width-inner/height-outer first-strictly-better tie-break), the pruned
 // analytic Swept must equal the exhaustive feasible-candidate count, and the
-// class count can never exceed it. Run in CI alongside the unit suite
+// class count can never exceed it. The gr byte selects the group structure:
+// 0 keeps the layer dense, 1 makes it depthwise (G == IC == OC, ICg == 1),
+// and 2..7 scale IC/OC into multiples of a proper group count. Run in CI
+// alongside the unit suite
 // (go test -fuzz FuzzSearchEquivalence -fuzztime 10s ./internal/core).
 func FuzzSearchEquivalence(f *testing.F) {
-	f.Add(uint8(14), uint8(14), uint8(3), uint8(3), uint8(64), uint8(64), uint8(1), uint8(1), uint8(0), uint8(0), uint8(3), uint8(3))
-	f.Add(uint8(224), uint8(224), uint8(3), uint8(3), uint8(3), uint8(64), uint8(1), uint8(1), uint8(0), uint8(0), uint8(7), uint8(7))
-	f.Add(uint8(27), uint8(27), uint8(5), uint8(5), uint8(96), uint8(255), uint8(1), uint8(1), uint8(2), uint8(2), uint8(7), uint8(7))
-	f.Add(uint8(40), uint8(12), uint8(5), uint8(3), uint8(16), uint8(32), uint8(2), uint8(3), uint8(1), uint8(0), uint8(4), uint8(2))
-	f.Add(uint8(56), uint8(7), uint8(7), uint8(1), uint8(8), uint8(8), uint8(4), uint8(1), uint8(0), uint8(3), uint8(0), uint8(15))
-	f.Fuzz(func(t *testing.T, iw, ih, kw, kh, ic, oc, sw, sh, pw, ph, rows, cols uint8) {
+	f.Add(uint8(14), uint8(14), uint8(3), uint8(3), uint8(64), uint8(64), uint8(1), uint8(1), uint8(0), uint8(0), uint8(3), uint8(3), uint8(0))
+	f.Add(uint8(224), uint8(224), uint8(3), uint8(3), uint8(3), uint8(64), uint8(1), uint8(1), uint8(0), uint8(0), uint8(7), uint8(7), uint8(0))
+	f.Add(uint8(27), uint8(27), uint8(5), uint8(5), uint8(96), uint8(255), uint8(1), uint8(1), uint8(2), uint8(2), uint8(7), uint8(7), uint8(0))
+	f.Add(uint8(40), uint8(12), uint8(5), uint8(3), uint8(16), uint8(32), uint8(2), uint8(3), uint8(1), uint8(0), uint8(4), uint8(2), uint8(0))
+	f.Add(uint8(56), uint8(7), uint8(7), uint8(1), uint8(8), uint8(8), uint8(4), uint8(1), uint8(0), uint8(3), uint8(0), uint8(15), uint8(0))
+	// Grouped seeds: a MobileNet-style depthwise 3x3, a strided depthwise,
+	// a ResNeXt-style grouped 3x3 and a grouped pointwise layer.
+	f.Add(uint8(14), uint8(14), uint8(3), uint8(3), uint8(95), uint8(95), uint8(1), uint8(1), uint8(1), uint8(1), uint8(3), uint8(3), uint8(1))
+	f.Add(uint8(28), uint8(28), uint8(3), uint8(3), uint8(47), uint8(47), uint8(2), uint8(2), uint8(1), uint8(1), uint8(7), uint8(7), uint8(1))
+	f.Add(uint8(56), uint8(56), uint8(3), uint8(3), uint8(3), uint8(3), uint8(1), uint8(1), uint8(1), uint8(1), uint8(7), uint8(7), uint8(4))
+	f.Add(uint8(14), uint8(14), uint8(1), uint8(1), uint8(31), uint8(47), uint8(1), uint8(1), uint8(0), uint8(0), uint8(3), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, iw, ih, kw, kh, ic, oc, sw, sh, pw, ph, rows, cols, gr uint8) {
 		l := Layer{
 			Name: "fuzz",
 			IW:   int(iw%56) + 1, IH: int(ih%56) + 1,
@@ -26,6 +35,16 @@ func FuzzSearchEquivalence(f *testing.F) {
 			IC: int(ic) + 1, OC: int(oc) + 1,
 			StrideW: int(sw % 5), StrideH: int(sh % 5),
 			PadW: int(pw % 4), PadH: int(ph % 4),
+		}
+		switch g := int(gr % 8); g {
+		case 0: // dense
+		case 1: // depthwise: one channel per group
+			l.OC = l.IC
+			l.Groups = l.IC
+		default: // proper grouping: scale the channels into multiples of g
+			l.IC *= g
+			l.OC *= g
+			l.Groups = g
 		}
 		a := Array{Rows: (int(rows%16) + 1) * 32, Cols: (int(cols%16) + 1) * 32}
 		if l.Validate() != nil {

@@ -28,6 +28,14 @@ type Layer struct {
 
 	// PadW and PadH are the symmetric zero paddings; negative is invalid.
 	PadW, PadH int
+
+	// Groups is the grouped-convolution group count: the input and output
+	// channels are split into Groups independent blocks, kernel g seeing
+	// only input block g (depthwise convolution is Groups == IC). Zero or
+	// one means a dense convolution; IC and OC must both be divisible by
+	// Groups. The zero value is left as-is (not normalized to 1) so dense
+	// layers serialize without the field.
+	Groups int `json:"Groups,omitempty"`
 }
 
 // Normalized returns a copy of l with zero strides replaced by 1.
@@ -59,9 +67,33 @@ func (l Layer) Validate() error {
 	case l.KW > l.PaddedW() || l.KH > l.PaddedH():
 		return fmt.Errorf("core: layer %q: kernel %dx%d exceeds padded IFM %dx%d",
 			l.Name, l.KW, l.KH, l.PaddedW(), l.PaddedH())
+	case l.Groups < 0:
+		return fmt.Errorf("core: layer %q: negative groups %d", l.Name, l.Groups)
+	case l.Groups > 1 && l.IC%l.Groups != 0:
+		return fmt.Errorf("core: layer %q: input channels %d not divisible by groups %d",
+			l.Name, l.IC, l.Groups)
+	case l.Groups > 1 && l.OC%l.Groups != 0:
+		return fmt.Errorf("core: layer %q: output channels %d not divisible by groups %d",
+			l.Name, l.OC, l.Groups)
 	}
 	return nil
 }
+
+// NumGroups returns the effective group count: Groups, with zero (the dense
+// default) and one both meaning a single dense group.
+func (l Layer) NumGroups() int {
+	if l.Groups < 2 {
+		return 1
+	}
+	return l.Groups
+}
+
+// ICg returns the input channels per group, IC / NumGroups (eq. 8's grouped
+// per-group cap; for depthwise layers ICg == 1).
+func (l Layer) ICg() int { return l.IC / l.NumGroups() }
+
+// OCg returns the output channels per group, OC / NumGroups.
+func (l Layer) OCg() int { return l.OC / l.NumGroups() }
 
 // PaddedW returns the IFM width after padding.
 func (l Layer) PaddedW() int { return l.IW + 2*l.PadW }
@@ -86,8 +118,9 @@ func (l Layer) OutH() int {
 func (l Layer) Windows() int { return l.OutW() * l.OutH() }
 
 // KernelRows returns the number of array rows one fully unrolled kernel
-// occupies: KW × KH × IC.
-func (l Layer) KernelRows() int { return l.KW * l.KH * l.IC }
+// occupies: KW × KH × ICg. A grouped kernel sees only its group's ICg input
+// channels; for a dense layer ICg == IC and this is the classic KW·KH·IC.
+func (l Layer) KernelRows() int { return l.KW * l.KH * l.ICg() }
 
 // Kernel returns the kernel extent as a Window.
 func (l Layer) Kernel() Window { return Window{W: l.KW, H: l.KH} }
@@ -98,11 +131,15 @@ func (l Layer) MACs() int64 {
 }
 
 // String returns a compact description such as
-// "conv1 3x3x64x128 @112x112 s1 p0".
+// "conv1 3x3x64x128 @112x112 s1 p0"; grouped layers append "g<Groups>".
 func (l Layer) String() string {
 	n := l.Normalized()
-	return fmt.Sprintf("%s %dx%dx%dx%d @%dx%d s%d p%d",
+	s := fmt.Sprintf("%s %dx%dx%dx%d @%dx%d s%d p%d",
 		l.Name, n.KW, n.KH, n.IC, n.OC, n.IW, n.IH, n.StrideW, n.PadW)
+	if n.NumGroups() > 1 {
+		s += fmt.Sprintf(" g%d", n.NumGroups())
+	}
+	return s
 }
 
 // Array describes a PIM crossbar array as Rows×Cols memory cells. Rows is the

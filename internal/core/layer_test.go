@@ -36,6 +36,9 @@ func TestLayerValidate(t *testing.T) {
 		{"negative stride", func(l *Layer) { l.StrideW = -1 }},
 		{"negative pad", func(l *Layer) { l.PadW = -1 }},
 		{"kernel too big", func(l *Layer) { l.KW = 9 }},
+		{"negative groups", func(l *Layer) { l.Groups = -1 }},
+		{"IC not divisible by groups", func(l *Layer) { l.Groups = 3 }},
+		{"OC not divisible by groups", func(l *Layer) { l.IC, l.OC, l.Groups = 6, 4, 3 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -116,6 +119,49 @@ func TestLayerOutputDims(t *testing.T) {
 				t.Errorf("PaddedW = %d, want %d", got, tt.paddedW)
 			}
 		})
+	}
+}
+
+func TestLayerGrouped(t *testing.T) {
+	// Dense layers (Groups 0 or 1) report one group covering all channels.
+	dense := Layer{IW: 8, IH: 8, KW: 3, KH: 3, IC: 12, OC: 8}
+	for _, g := range []int{0, 1} {
+		dense.Groups = g
+		if dense.NumGroups() != 1 || dense.ICg() != 12 || dense.OCg() != 8 {
+			t.Fatalf("dense Groups=%d: NumGroups=%d ICg=%d OCg=%d", g,
+				dense.NumGroups(), dense.ICg(), dense.OCg())
+		}
+	}
+	if dense.KernelRows() != 3*3*12 {
+		t.Fatalf("dense KernelRows = %d, want 108", dense.KernelRows())
+	}
+
+	// Grouped: per-group channel slices and per-kernel rows.
+	g4 := Layer{IW: 8, IH: 8, KW: 3, KH: 3, IC: 12, OC: 8, Groups: 4}
+	if err := g4.Validate(); err != nil {
+		t.Fatalf("grouped layer rejected: %v", err)
+	}
+	if g4.NumGroups() != 4 || g4.ICg() != 3 || g4.OCg() != 2 {
+		t.Fatalf("g4: NumGroups=%d ICg=%d OCg=%d", g4.NumGroups(), g4.ICg(), g4.OCg())
+	}
+	if g4.KernelRows() != 3*3*3 {
+		t.Fatalf("g4 KernelRows = %d, want 27", g4.KernelRows())
+	}
+	// MACs count only within-group connections: Windows * KW*KH*ICg * OC.
+	if got, want := g4.MACs(), int64(g4.Windows())*int64(3*3*3)*int64(g4.OC); got != want {
+		t.Fatalf("g4 MACs = %d, want %d", got, want)
+	}
+	if s := g4.String(); !strings.Contains(s, "g4") {
+		t.Errorf("grouped Layer.String = %q, want g4 marker", s)
+	}
+
+	// Depthwise edge case: G == IC, one input channel per group.
+	dw := Layer{IW: 8, IH: 8, KW: 3, KH: 3, IC: 7, OC: 7, Groups: 7}
+	if err := dw.Validate(); err != nil {
+		t.Fatalf("depthwise layer rejected: %v", err)
+	}
+	if dw.ICg() != 1 || dw.OCg() != 1 || dw.KernelRows() != 9 {
+		t.Fatalf("depthwise: ICg=%d OCg=%d KernelRows=%d", dw.ICg(), dw.OCg(), dw.KernelRows())
 	}
 }
 

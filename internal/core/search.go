@@ -203,8 +203,10 @@ func SearchSMDContext(ctx context.Context, l Layer, a Array) (Result, error) {
 	}
 	res := Result{Best: base, Im2col: base}
 	dup := 1
-	if kr := l.KernelRows(); kr <= a.Rows && l.OC <= a.Cols {
-		dup = min(a.Rows/kr, a.Cols/l.OC)
+	// The duplicated block is one group's kernel matrix (KernelRows × OCg);
+	// on a dense layer ICg == IC, OCg == OC and this is the classic rule.
+	if kr := l.KernelRows(); kr <= a.Rows && l.OCg() <= a.Cols {
+		dup = min(a.Rows/kr, a.Cols/l.OCg())
 		dup = min(dup, l.Windows())
 	}
 	m, err := SMD(l, a, dup)

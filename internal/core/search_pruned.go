@@ -10,9 +10,15 @@ import (
 // eq. 8: for a fixed window height h, every term of the cycle count is a step
 // function of the window width w —
 //
-//	ICt  = min(floor(Rows/(w·h)), IC)        (eq. 4) → AR = ceil(IC/ICt)
-//	OCt  = min(floor(Cols/(NwW·NwH)), OC)    (eq. 6) → AC = ceil(OC/OCt)
+//	ICt  = min(floor(Rows/(w·h)), ICg)       (eq. 4) → AR = ceil(ICg/ICt)
+//	OCt  = min(floor(Cols/(NwW·NwH)), OCg)   (eq. 6) → AC = ceil(OCg/OCt)
 //	NPWw = ceil(OutW/NwW)                    (eq. 3)
+//
+// (ICg = IC/Groups and OCg = OC/Groups are the per-group channel counts;
+// dense layers have Groups == 1 so ICg == IC, OCg == OC. Grouping replaces
+// the caps with per-group floors and multiplies Cycles by the G-independent
+// constant Groups — the step-function structure in w is untouched, so the
+// class walk below needs no changes; DESIGN.md §7.)
 //
 // with NwW = floor((w-KW)/StrideW)+1 itself a step function of w. The cycle
 // count is therefore constant over maximal runs of w on which (ICt, OCt,
@@ -95,9 +101,10 @@ func searchVWSDKPruned(ctx context.Context, l Layer, a Array) (Result, error) {
 // for which the candidate (w', h) has the same ICt, OCt and ceil(OutW/NwW) —
 // hence the same cycle count — as the costed representative m at width w.
 func vwClassEnd(l Layer, a Array, h, w int, m Mapping, outW int) int {
-	// ICt = min(floor(Rows/(w'·h)), IC) stays == m.ICt while w'·h·ICt ≤ Rows.
+	// ICt = min(floor(Rows/(w'·h)), ICg) stays == m.ICt while w'·h·ICt ≤ Rows
+	// (m.ICt already carries the per-group cap, so this holds for any Groups).
 	end := a.Rows / (h * m.ICt)
-	// OCt = min(floor(Cols/(NwW'·NwH)), OC) stays == m.OCt while
+	// OCt = min(floor(Cols/(NwW'·NwH)), OCg) stays == m.OCt while
 	// NwW'·NwH·OCt ≤ Cols.
 	nwWEnd := a.Cols / (m.NwH * m.OCt)
 	// ceil(OutW/NwW') stays == npwW while NwW' ≤ (OutW-1)/(npwW-1); for
@@ -196,8 +203,9 @@ func searchRectFullChannelPruned(ctx context.Context, l Layer, a Array) (Result,
 		nwH := (h-l.KH)/l.StrideH + 1
 		// Monotone early-exit on the height axis: the narrowest window of
 		// this row already violates the baseline rule, and AR and AC only
-		// grow with h.
-		if ceilDiv(l.KW*h*l.IC, a.Rows) > base.AR || ceilDiv(nwH*l.OC, a.Cols) > base.AC {
+		// grow with h. The SDK costing is per group (ICg/OCg), so the rule
+		// and the class algebra below use the per-group channel counts.
+		if ceilDiv(l.KW*h*l.ICg(), a.Rows) > base.AR || ceilDiv(nwH*l.OCg(), a.Cols) > base.AC {
 			break
 		}
 		w := l.KW
@@ -216,10 +224,10 @@ func searchRectFullChannelPruned(ctx context.Context, l Layer, a Array) (Result,
 			if m.Cycles < res.Best.Cycles {
 				res.Best = m
 			}
-			// Class end: AR stays while w'·h·IC ≤ AR·Rows; AC stays while
-			// NwW'·NwH·OC ≤ AC·Cols; ceil(OutW/NwW') as in the VW walk.
-			end := m.AR * a.Rows / (h * l.IC)
-			nwWEnd := m.AC * a.Cols / (m.NwH * l.OC)
+			// Class end: AR stays while w'·h·ICg ≤ AR·Rows; AC stays while
+			// NwW'·NwH·OCg ≤ AC·Cols; ceil(OutW/NwW') as in the VW walk.
+			end := m.AR * a.Rows / (h * l.ICg())
+			nwWEnd := m.AC * a.Cols / (m.NwH * l.OCg())
 			if npwW := ceilDiv(outW, m.NwW); npwW > 1 {
 				nwWEnd = min(nwWEnd, (outW-1)/(npwW-1))
 			}

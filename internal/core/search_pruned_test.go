@@ -25,6 +25,18 @@ func zooShapes() []Layer {
 		Layer{Name: "rect-kernel", IW: 32, IH: 32, KW: 5, KH: 3, IC: 8, OC: 24},
 		Layer{Name: "strided-pad", IW: 30, IH: 30, KW: 3, KH: 3, IC: 12, OC: 20, StrideW: 2, StrideH: 2, PadW: 1, PadH: 1},
 		Layer{Name: "uneven-stride", IW: 25, IH: 25, KW: 3, KH: 3, IC: 6, OC: 10, StrideW: 2, StrideH: 3},
+		// Grouped and depthwise shapes: MobileNet-V2 depthwise layers (the
+		// G == IC, ICg == 1 edge case, with and without stride), a
+		// ResNeXt-style cardinality-32 block, and grouped exercisers
+		// combining groups with rectangles, strides and 1×1 kernels.
+		Layer{Name: "mbv2-dw32", IW: 112, IH: 112, KW: 3, KH: 3, IC: 32, OC: 32, PadW: 1, PadH: 1, Groups: 32},
+		Layer{Name: "mbv2-dw96-s2", IW: 112, IH: 112, KW: 3, KH: 3, IC: 96, OC: 96, StrideW: 2, StrideH: 2, PadW: 1, PadH: 1, Groups: 96},
+		Layer{Name: "mbv2-dw384", IW: 14, IH: 14, KW: 3, KH: 3, IC: 384, OC: 384, PadW: 1, PadH: 1, Groups: 384},
+		Layer{Name: "resnext-g32", IW: 56, IH: 56, KW: 3, KH: 3, IC: 128, OC: 128, PadW: 1, PadH: 1, Groups: 32},
+		Layer{Name: "grouped-rect", IW: 40, IH: 12, KW: 3, KH: 3, IC: 16, OC: 32, Groups: 4},
+		Layer{Name: "grouped-strided", IW: 30, IH: 30, KW: 3, KH: 3, IC: 12, OC: 24, StrideW: 2, StrideH: 2, PadW: 1, PadH: 1, Groups: 3},
+		Layer{Name: "dw-odd", IW: 9, IH: 9, KW: 3, KH: 3, IC: 7, OC: 7, Groups: 7},
+		Layer{Name: "grouped-pw", IW: 14, IH: 14, KW: 1, KH: 1, IC: 64, OC: 96, Groups: 2},
 	)
 	return shapes
 }

@@ -15,21 +15,22 @@ type TileShape struct {
 }
 
 // icTile returns the number of input channels mapped in array-row tile i
-// (0 ≤ i < AR) for channel-granular schemes.
+// (0 ≤ i < AR) for channel-granular schemes. Tiling is per convolution
+// group (ICg channels); divisibility makes every group's grid identical.
 func (m Mapping) icTile(i int) int {
 	if i < m.AR-1 {
 		return m.ICt
 	}
-	return m.Layer.IC - (m.AR-1)*m.ICt
+	return m.Layer.ICg() - (m.AR-1)*m.ICt
 }
 
 // ocTile returns the number of output channels computed in array-column tile
-// j (0 ≤ j < AC) for channel-granular column layouts.
+// j (0 ≤ j < AC) for channel-granular column layouts (per group, like icTile).
 func (m Mapping) ocTile(j int) int {
 	if j < m.AC-1 {
 		return m.OCt
 	}
-	return m.Layer.OC - (m.AC-1)*m.OCt
+	return m.Layer.OCg() - (m.AC-1)*m.OCt
 }
 
 // rowTile returns the number of raw array rows occupied by row tile i when
@@ -69,8 +70,8 @@ func (m Mapping) Tile(i, j int) TileShape {
 			return TileShape{Rows: rows, Cols: cols, UsedCells: int64(rows) * int64(cols)}
 		}
 		rows := m.Dup * l.KernelRows()
-		cols := m.Dup * l.OC
-		used := int64(m.Dup) * int64(l.KernelRows()) * int64(l.OC)
+		cols := m.Dup * l.OCg()
+		used := int64(m.Dup) * int64(l.KernelRows()) * int64(l.OCg())
 		return TileShape{Rows: rows, Cols: cols, UsedCells: used}
 	case SchemeSDK:
 		return m.sdkTile(i, j)
@@ -92,8 +93,8 @@ func (m Mapping) Tile(i, j int) TileShape {
 func (m Mapping) sdkTile(i, j int) TileShape {
 	l := m.Layer
 	area := m.PW.Area()
-	totalRows := area * l.IC
-	totalCols := m.Nw() * l.OC
+	totalRows := area * l.ICg()
+	totalCols := m.Nw() * l.OCg()
 
 	rowLo := i * m.Array.Rows
 	rowHi := min(rowLo+m.Array.Rows, totalRows)
@@ -105,8 +106,8 @@ func (m Mapping) sdkTile(i, j int) TileShape {
 		for wx := 0; wx < m.NwW; wx++ {
 			w := wy*m.NwW + wx
 			// Columns of this window copy overlapping the column tile.
-			cLo := max(colLo, w*l.OC)
-			cHi := min(colHi, (w+1)*l.OC)
+			cLo := max(colLo, w*l.OCg())
+			cHi := min(colHi, (w+1)*l.OCg())
 			if cLo >= cHi {
 				continue
 			}
@@ -127,7 +128,7 @@ func (m Mapping) sdkWindowRowsIn(wx, wy, lo, hi int) int {
 	dx := wx * l.StrideW
 	dy := wy * l.StrideH
 	count := 0
-	for c := 0; c < l.IC; c++ {
+	for c := 0; c < l.ICg(); c++ {
 		base := c * area
 		if base >= hi {
 			break
@@ -152,13 +153,15 @@ func (m Mapping) sdkWindowRowsIn(wx, wy, lo, hi int) int {
 // cycles of used weight cells over total array cells, in percent. Cycles at
 // different parallel-window positions reuse the same tiles, so the average
 // runs over the AR×AC tile grid (and over window groups for SMD, whose last
-// group may be partial).
+// group may be partial). For grouped layers the grid is one group's — the
+// divisibility constraint (IC%G == OC%G == 0) makes every group's AR×AC
+// grid identical, so the per-group average equals the all-group average.
 func (m Mapping) Utilization() float64 {
 	if m.Scheme == SchemeSMD && m.Dup > 1 {
 		l := m.Layer
 		full := m.NPW - 1
 		rem := l.Windows() - full*m.Dup
-		perWin := int64(l.KernelRows()) * int64(l.OC)
+		perWin := int64(l.KernelRows()) * int64(l.OCg())
 		sum := float64(full)*cellFrac(int64(m.Dup)*perWin, m.Array) +
 			cellFrac(int64(rem)*perWin, m.Array)
 		return 100 * sum / float64(m.NPW)

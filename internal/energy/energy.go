@@ -166,6 +166,15 @@ func (m Model) Estimate(mp core.Mapping) (Report, error) {
 			r.CellWrites += int64(tile.Rows) * int64(tile.Cols)
 		}
 	}
+	// The loop above covers one convolution group's AR×AC grid; the
+	// divisibility constraint makes every group's grid identical, so the
+	// remaining groups scale the counts.
+	if g := int64(mp.Layer.NumGroups()); g > 1 {
+		r.DACConversions *= g
+		r.ADCConversions *= g
+		r.CellMACCycles *= g
+		r.CellWrites *= g
+	}
 	r.Cycles = mp.Cycles
 	r.Latency = time.Duration(r.Cycles) * m.TCycle
 	r.EnergyDAC = float64(r.DACConversions) * m.EnergyDAC

@@ -218,3 +218,48 @@ func TestConversionFractionZero(t *testing.T) {
 		t.Fatal("empty report should have zero conversion fraction")
 	}
 }
+
+// TestEstimateGrouped: a grouped layer's per-group AR×AC grid is identical
+// across groups (the divisibility constraint guarantees it), so every counter
+// is exactly G times its dense per-group slice — matching the G× cycle count.
+func TestEstimateGrouped(t *testing.T) {
+	l := core.Layer{IW: 14, IH: 14, KW: 3, KH: 3, IC: 96, OC: 96,
+		PadW: 1, PadH: 1, Groups: 96}
+	slice := l
+	slice.IC, slice.OC, slice.Groups = l.ICg(), l.OCg(), 0
+	a := core.Array{Rows: 128, Cols: 64}
+	mdl := Default()
+	for _, gate := range []bool{false, true} {
+		mdl.GatePeripherals = gate
+		gm, err := core.Im2col(l, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, err := core.Im2col(slice, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := mdl.Estimate(gm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := mdl.Estimate(sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := int64(l.NumGroups())
+		if gr.Cycles != g*sr.Cycles {
+			t.Errorf("gate=%v: cycles %d, want %d", gate, gr.Cycles, g*sr.Cycles)
+		}
+		if gr.DACConversions != g*sr.DACConversions || gr.ADCConversions != g*sr.ADCConversions {
+			t.Errorf("gate=%v: conversions %d/%d, want %d/%d", gate,
+				gr.DACConversions, gr.ADCConversions, g*sr.DACConversions, g*sr.ADCConversions)
+		}
+		if gr.CellMACCycles != g*sr.CellMACCycles {
+			t.Errorf("gate=%v: cell MACs %d, want %d", gate, gr.CellMACCycles, g*sr.CellMACCycles)
+		}
+		if gr.CellWrites != g*sr.CellWrites {
+			t.Errorf("gate=%v: cell writes %d, want %d", gate, gr.CellWrites, g*sr.CellWrites)
+		}
+	}
+}

@@ -63,10 +63,12 @@ func Run(m core.Mapping, ifm *tensor.Tensor3, w *tensor.Tensor4, opts ...pimarra
 // Verify executes mapping m on deterministic random integer inputs and
 // compares the crossbar OFM bit-for-bit against the reference convolution.
 // It returns nil when they match exactly, and a descriptive error otherwise.
+// Grouped layers verify against the grouped reference on compact OC×ICg
+// weights.
 func Verify(m core.Mapping, seed uint64) error {
 	l := m.Layer.Normalized()
 	ifm := tensor.RandTensor3(seed, l.IC, l.IH, l.IW)
-	w := tensor.RandTensor4(seed^0x9e3779b97f4a7c15, l.OC, l.IC, l.KH, l.KW)
+	w := tensor.RandTensor4(seed^0x9e3779b97f4a7c15, l.OC, l.ICg(), l.KH, l.KW)
 	want, err := conv.Reference(l, ifm, w)
 	if err != nil {
 		return err
@@ -88,6 +90,9 @@ func Verify(m core.Mapping, seed uint64) error {
 
 // VerifyAllSchemes verifies layer l on array a under im2col, searched SMD,
 // searched SDK and searched VW-SDK mappings. It returns the first failure.
+// Grouped layers verify the schemes with grouped physical layouts (im2col
+// and VW-SDK); SMD duplication and SDK have dense-only layouts and are
+// skipped.
 func VerifyAllSchemes(l core.Layer, a core.Array, seed uint64) error {
 	im, err := core.Im2col(l, a)
 	if err != nil {
@@ -96,19 +101,21 @@ func VerifyAllSchemes(l core.Layer, a core.Array, seed uint64) error {
 	if err := Verify(im, seed); err != nil {
 		return fmt.Errorf("im2col: %w", err)
 	}
-	smd, err := core.SearchSMD(l, a)
-	if err != nil {
-		return err
-	}
-	if err := Verify(smd.Best, seed); err != nil {
-		return fmt.Errorf("SMD: %w", err)
-	}
-	sdk, err := core.SearchSDK(l, a)
-	if err != nil {
-		return err
-	}
-	if err := Verify(sdk.Best, seed); err != nil {
-		return fmt.Errorf("SDK: %w", err)
+	if l.Normalized().NumGroups() == 1 {
+		smd, err := core.SearchSMD(l, a)
+		if err != nil {
+			return err
+		}
+		if err := Verify(smd.Best, seed); err != nil {
+			return fmt.Errorf("SMD: %w", err)
+		}
+		sdk, err := core.SearchSDK(l, a)
+		if err != nil {
+			return err
+		}
+		if err := Verify(sdk.Best, seed); err != nil {
+			return fmt.Errorf("SDK: %w", err)
+		}
 	}
 	vw, err := core.SearchVWSDK(l, a)
 	if err != nil {

@@ -56,14 +56,19 @@ func (p *Plan) WeightTile(w *tensor.Tensor4, t Tile) *tensor.Matrix {
 			}
 			return m
 		}
+		// Grouped layers: a tile lies inside one group's row/column block,
+		// and the compact weight tensor is indexed with the group-local
+		// input channel r % KernelRows; dense layers have r < KernelRows.
+		kr := l.KernelRows()
 		for rr := 0; rr < m.Rows; rr++ {
-			c, ky, kx := rowCoordIm2col(l, t.RowLo+rr)
+			ci, ky, kx := rowCoordIm2col(l, (t.RowLo+rr)%kr)
 			for cc := 0; cc < m.Cols; cc++ {
-				m.Set(rr, cc, w.At(t.ColLo+cc, c, ky, kx))
+				m.Set(rr, cc, w.At(t.ColLo+cc, ci, ky, kx))
 			}
 		}
 		return m
 	default: // SDK, VW-SDK
+		icg := l.ICg()
 		for rr := 0; rr < m.Rows; rr++ {
 			c, y, x := p.rowCoordWindow(t.RowLo + rr)
 			for cc := 0; cc < m.Cols; cc++ {
@@ -71,7 +76,10 @@ func (p *Plan) WeightTile(w *tensor.Tensor4, t Tile) *tensor.Matrix {
 				kx := x - winX*l.StrideW
 				ky := y - winY*l.StrideH
 				if kx >= 0 && kx < l.KW && ky >= 0 && ky < l.KH {
-					m.Set(rr, cc, w.At(oc, c, ky, kx))
+					// c is the global input channel; the compact grouped
+					// weight tensor wants the group-local index (a tile never
+					// crosses groups, so oc's group is c's group).
+					m.Set(rr, cc, w.At(oc, c%icg, ky, kx))
 				}
 			}
 		}
@@ -91,14 +99,22 @@ func (p *Plan) InputVector(padded *tensor.Tensor3, t Tile, pos Position) []float
 		kr := l.KernelRows()
 		for rr := range in {
 			r := t.RowLo + rr
-			d, rk := r/kr, r%kr
+			// For SMD duplication (dense only) r/kr selects the duplicate's
+			// window; otherwise it decodes the convolution group, whose rows
+			// all feed the position's single window.
+			d, g := 0, 0
+			if p.M.Dup > 1 {
+				d = r / kr
+			} else {
+				g = r / kr
+			}
 			if d >= len(pos.Windows) {
 				continue // partial last SMD group: unused copy rows idle
 			}
 			win := pos.Windows[d]
 			oy, ox := win/outW, win%outW
-			c, ky, kx := rowCoordIm2col(l, rk)
-			in[rr] = padded.At(c, oy*l.StrideH+ky, ox*l.StrideW+kx)
+			ci, ky, kx := rowCoordIm2col(l, r%kr)
+			in[rr] = padded.At(g*l.ICg()+ci, oy*l.StrideH+ky, ox*l.StrideW+kx)
 		}
 	default: // SDK, VW-SDK
 		for rr := range in {
@@ -156,7 +172,7 @@ func (p *Plan) Scatter(out *tensor.Tensor3, t Tile, pos Position, res []float64)
 // paper's eq. 9. It cross-checks core.Mapping.Tile.
 func (p *Plan) PatternCells(t Tile) int64 {
 	l := p.M.Layer
-	ones := tensor.NewTensor4(l.OC, l.IC, l.KH, l.KW)
+	ones := tensor.NewTensor4(l.OC, l.ICg(), l.KH, l.KW)
 	for i := range ones.Data {
 		ones.Data[i] = 1
 	}

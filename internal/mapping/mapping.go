@@ -100,9 +100,17 @@ func NewPlan(m core.Mapping) (*Plan, error) {
 		if m.Dup < 1 {
 			return nil, fmt.Errorf("mapping: %v with Dup=%d", m.Scheme, m.Dup)
 		}
+		if m.Dup > 1 && l.NumGroups() > 1 {
+			return nil, fmt.Errorf("mapping: SMD duplication has no grouped layout (layer %v has %d groups)",
+				l, l.NumGroups())
+		}
 		p.buildIm2colTiles()
 		p.buildGroupPositions()
 	case core.SchemeSDK:
+		if l.NumGroups() > 1 {
+			return nil, fmt.Errorf("mapping: SDK's row-granular layout has no grouped form (layer %v has %d groups)",
+				l, l.NumGroups())
+		}
 		p.buildSDKTiles()
 		p.buildWindowPositions()
 	case core.SchemeVWSDK:
@@ -128,8 +136,12 @@ func NewPlan(m core.Mapping) (*Plan, error) {
 	return p, nil
 }
 
-// buildIm2colTiles creates the AR×AC grid for im2col and SMD layouts. For
-// SMD with Dup > 1 the whole block-diagonal matrix forms a single tile.
+// buildIm2colTiles creates the AR×AC grid for im2col and SMD layouts — per
+// convolution group, over global virtual spaces: group g's kernel rows
+// occupy [g·KernelRows, (g+1)·KernelRows) and its output channels
+// [g·OCg, (g+1)·OCg), so every tile lies inside one group's block. For SMD
+// with Dup > 1 (dense only) the whole block-diagonal matrix forms a single
+// tile.
 func (p *Plan) buildIm2colTiles() {
 	m, l := p.M, p.M.Layer
 	if m.Scheme == core.SchemeSMD && m.Dup > 1 {
@@ -139,15 +151,17 @@ func (p *Plan) buildIm2colTiles() {
 		}}
 		return
 	}
-	totalRows := l.KernelRows()
-	for i := 0; i < m.AR; i++ {
-		rowLo := i * m.Array.Rows
-		rowHi := min(rowLo+m.Array.Rows, totalRows)
-		for j := 0; j < m.AC; j++ {
-			colLo := j * m.OCt
-			colHi := min(colLo+m.OCt, l.OC)
-			p.Tiles = append(p.Tiles, Tile{I: i, J: j,
-				RowLo: rowLo, RowHi: rowHi, ColLo: colLo, ColHi: colHi})
+	kr, ocg := l.KernelRows(), l.OCg()
+	for g := 0; g < l.NumGroups(); g++ {
+		for i := 0; i < m.AR; i++ {
+			rowLo := g*kr + i*m.Array.Rows
+			rowHi := min(rowLo+m.Array.Rows, (g+1)*kr)
+			for j := 0; j < m.AC; j++ {
+				colLo := g*ocg + j*m.OCt
+				colHi := min(colLo+m.OCt, (g+1)*ocg)
+				p.Tiles = append(p.Tiles, Tile{I: i, J: j,
+					RowLo: rowLo, RowHi: rowHi, ColLo: colLo, ColHi: colHi})
+			}
 		}
 	}
 }
@@ -172,20 +186,27 @@ func (p *Plan) buildSDKTiles() {
 
 // buildVWTiles creates channel-granular tiles: row tiles cut at ICt channel
 // boundaries (eq. 4/5) and column tiles at OCt output-channel boundaries
-// (eq. 6/7) over the channel-major column layout.
+// (eq. 6/7) over the channel-major column layout. Grouped layers repeat the
+// per-group AR×AC grid once per group in the global channel spaces (group g
+// owns input channels [g·ICg, (g+1)·ICg) and output channels
+// [g·OCg, (g+1)·OCg)), so a tile never crosses a group boundary — the
+// physical form of "a group cannot share array columns with another group".
 func (p *Plan) buildVWTiles() {
 	m, l := p.M, p.M.Layer
 	area := m.PW.Area()
 	nw := m.Nw()
-	for i := 0; i < m.AR; i++ {
-		cLo := i * m.ICt
-		cHi := min(cLo+m.ICt, l.IC)
-		for j := 0; j < m.AC; j++ {
-			oLo := j * m.OCt
-			oHi := min(oLo+m.OCt, l.OC)
-			p.Tiles = append(p.Tiles, Tile{I: i, J: j,
-				RowLo: cLo * area, RowHi: cHi * area,
-				ColLo: oLo * nw, ColHi: oHi * nw})
+	icg, ocg := l.ICg(), l.OCg()
+	for g := 0; g < l.NumGroups(); g++ {
+		for i := 0; i < m.AR; i++ {
+			cLo := g*icg + i*m.ICt
+			cHi := min(cLo+m.ICt, (g+1)*icg)
+			for j := 0; j < m.AC; j++ {
+				oLo := g*ocg + j*m.OCt
+				oHi := min(oLo+m.OCt, (g+1)*ocg)
+				p.Tiles = append(p.Tiles, Tile{I: i, J: j,
+					RowLo: cLo * area, RowHi: cHi * area,
+					ColLo: oLo * nw, ColHi: oHi * nw})
+			}
 		}
 	}
 }

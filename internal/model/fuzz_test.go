@@ -12,10 +12,17 @@ import (
 // another ToJSON pass. Seeds include the repository's example spec plus the
 // syntax corners the parser discriminates on.
 func FuzzFromJSON(f *testing.F) {
-	if data, err := os.ReadFile("../../examples/networks/tinynet.json"); err == nil {
-		f.Add(data)
+	for _, example := range []string{
+		"../../examples/networks/tinynet.json",
+		"../../examples/networks/mobile.json", // grouped + depthwise layers
+	} {
+		if data, err := os.ReadFile(example); err == nil {
+			f.Add(data)
+		}
 	}
 	f.Add([]byte(`{"name": "n", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1}]}`))
+	f.Add([]byte(`{"name": "n", "layers": [{"name": "dw", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 4, "oc": 4, "groups": 4}]}`))
+	f.Add([]byte(`{"name": "n", "layers": [{"name": "g", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 6, "oc": 4, "groups": 2}]}`))
 	f.Add([]byte(`{"name": "n", "layers": [{"iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1, "stride_w": 2, "pad_h": 1, "count": 3}]}`))
 	f.Add([]byte(`{"name": "n", "layers": []}`))
 	f.Add([]byte(`{}`))

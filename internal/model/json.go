@@ -26,7 +26,9 @@ import (
 //
 // "stride" and "pad" set both axes at once; "stride_w"/"stride_h" and
 // "pad_w"/"pad_h" set them individually and win over the shorthand. Omitted
-// stride defaults to 1, omitted padding to 0, omitted count to 1. Unknown
+// stride defaults to 1, omitted padding to 0, omitted count to 1. "groups"
+// declares a grouped convolution (depthwise when it equals "ic"); it
+// defaults to 1 (dense) and "ic"/"oc" must both be divisible by it. Unknown
 // fields are rejected so typos fail loudly.
 
 // jsonNetwork is the on-disk network spec.
@@ -52,6 +54,7 @@ type jsonLayer struct {
 	Pad     int    `json:"pad,omitempty"`
 	PadW    *int   `json:"pad_w,omitempty"`
 	PadH    *int   `json:"pad_h,omitempty"`
+	Groups  int    `json:"groups,omitempty"`
 	Count   int    `json:"count,omitempty"`
 }
 
@@ -103,6 +106,7 @@ func FromJSON(data []byte) (Network, error) {
 				IC: jl.IC, OC: jl.OC,
 				StrideW: sw, StrideH: sh,
 				PadW: pw, PadH: ph,
+				Groups: jl.Groups,
 			},
 			Count: count,
 		})
@@ -154,6 +158,12 @@ func ToJSON(n Network) ([]byte, error) {
 		} else {
 			pw, ph := l.PadW, l.PadH
 			jl.PadW, jl.PadH = &pw, &ph
+		}
+		// Dense layers omit "groups" entirely (whether stored as 0 or 1), so
+		// specs — and everything keyed on them, like compile.Key — are
+		// byte-identical to the pre-groups format.
+		if l.NumGroups() > 1 {
+			jl.Groups = l.NumGroups()
 		}
 		if cl.Count != 1 {
 			jl.Count = cl.Count

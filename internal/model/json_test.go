@@ -80,6 +80,9 @@ func TestFromJSONErrors(t *testing.T) {
 		{"duplicate name", `{"name": "x", "layers": [
 			{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 1, "oc": 1},
 			{"name": "c", "iw": 16, "ih": 16, "kw": 3, "kh": 3, "ic": 1, "oc": 1}]}`, `duplicate layer name "c"`},
+		{"negative groups", `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 4, "oc": 4, "groups": -2}]}`, "negative groups -2"},
+		{"ic not divisible", `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 5, "oc": 6, "groups": 3}]}`, "input channels 5 not divisible by groups 3"},
+		{"oc not divisible", `{"name": "x", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 6, "oc": 4, "groups": 3}]}`, "output channels 4 not divisible by groups 3"},
 	}
 	for _, tc := range cases {
 		_, err := FromJSON([]byte(tc.spec))
@@ -99,6 +102,36 @@ func TestFromJSONErrors(t *testing.T) {
 	  {"iw": 16, "ih": 16, "kw": 3, "kh": 3, "ic": 1, "oc": 1}]}`
 	if _, err := FromJSON([]byte(anon)); err != nil {
 		t.Errorf("anonymous layers rejected: %v", err)
+	}
+}
+
+// TestFromJSONGroups: "groups" parses into the layer, depthwise specs work,
+// and ToJSON writes the field back for grouped layers while omitting it for
+// dense ones (keeping pre-groups specs byte-stable).
+func TestFromJSONGroups(t *testing.T) {
+	spec := `{"name": "g", "layers": [
+	  {"name": "dw", "iw": 16, "ih": 16, "kw": 3, "kh": 3, "ic": 8, "oc": 8, "pad": 1, "groups": 8},
+	  {"name": "dense", "iw": 16, "ih": 16, "kw": 1, "kh": 1, "ic": 8, "oc": 4}
+	]}`
+	n, err := FromJSON([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := n.Layers[0].Layer.NumGroups(); g != 8 {
+		t.Fatalf("dw groups = %d, want 8", g)
+	}
+	if g := n.Layers[1].Layer.NumGroups(); g != 1 {
+		t.Fatalf("dense groups = %d, want 1", g)
+	}
+	out, err := ToJSON(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"groups": 8`) {
+		t.Errorf("grouped layer lost its groups field:\n%s", out)
+	}
+	if strings.Count(string(out), "groups") != 1 {
+		t.Errorf("dense layer gained a groups field:\n%s", out)
 	}
 }
 

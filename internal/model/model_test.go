@@ -169,3 +169,72 @@ func TestPaperTotalsViaModel(t *testing.T) {
 		t.Errorf("ResNet-18 totals = %d/%d/%d, want 20041/7240/4294", im, sdk, vw)
 	}
 }
+
+// TestGroupedZooNetworks pins the structure of the grouped zoo entries:
+// MobileNet-V2's inverted residuals alternate pointwise and depthwise
+// (G == IC) layers, and ResNeXt-50's bottlenecks use cardinality-32 3x3
+// convolutions. Both resolve by name.
+func TestGroupedZooNetworks(t *testing.T) {
+	mb, err := ByName("MobileNet-V2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	depthwise, pointwise := 0, 0
+	for _, cl := range mb.Layers {
+		l := cl.Layer
+		if l.NumGroups() > 1 {
+			if l.Groups != l.IC || l.IC != l.OC || l.KW != 3 || l.KH != 3 {
+				t.Errorf("MobileNet-V2 %s: grouped layer is not depthwise 3x3: %v", l.Name, l)
+			}
+			depthwise += cl.Count
+		} else if l.KW == 1 && l.KH == 1 {
+			pointwise += cl.Count
+		}
+	}
+	if depthwise < 10 || pointwise < 10 {
+		t.Errorf("MobileNet-V2: %d depthwise / %d pointwise layers, want >=10 of each",
+			depthwise, pointwise)
+	}
+
+	rx, err := ByName("ResNeXt-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := 0
+	for _, cl := range rx.Layers {
+		l := cl.Layer
+		if l.NumGroups() > 1 {
+			if l.Groups != 32 || l.KW != 3 || l.KH != 3 {
+				t.Errorf("ResNeXt-50 %s: grouped layer is not cardinality-32 3x3: %v", l.Name, l)
+			}
+			grouped += cl.Count
+		}
+	}
+	if grouped != 16 {
+		t.Errorf("ResNeXt-50: %d grouped 3x3 layers, want 16 (block counts 3+4+6+3)", grouped)
+	}
+}
+
+// TestRandomGeneratesGroupedLayers: the random generator emits depthwise and
+// grouped layers often enough that downstream fuzzing exercises them.
+func TestRandomGeneratesGroupedLayers(t *testing.T) {
+	depthwise, grouped := 0, 0
+	for seed := uint64(0); seed < 40; seed++ {
+		n := Random(seed, 8)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, cl := range n.Layers {
+			l := cl.Layer
+			switch {
+			case l.NumGroups() > 1 && l.Groups == l.IC:
+				depthwise++
+			case l.NumGroups() > 1:
+				grouped++
+			}
+		}
+	}
+	if depthwise == 0 || grouped == 0 {
+		t.Fatalf("40 random networks produced %d depthwise and %d grouped layers; generator lost group coverage", depthwise, grouped)
+	}
+}

@@ -148,7 +148,7 @@ func (m *Model) Validate() error {
 			return fmt.Errorf("nn: stage %d expects %dx%dx%d, previous stage yields %dx%dx%d",
 				i, l.IC, l.IH, l.IW, c, h, w)
 		}
-		if s.Weights == nil || s.Weights.O != l.OC || s.Weights.C != l.IC ||
+		if s.Weights == nil || s.Weights.O != l.OC || s.Weights.C != l.ICg() ||
 			s.Weights.H != l.KH || s.Weights.W != l.KW {
 			return fmt.Errorf("nn: stage %d weights do not match layer %v", i, l)
 		}

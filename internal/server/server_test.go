@@ -101,6 +101,9 @@ func TestNetworksListsZoo(t *testing.T) {
 	if byName["VGG-13"] != 10 || byName["ResNet-18"] != 5 {
 		t.Errorf("zoo listing wrong: %v", byName)
 	}
+	if byName["MobileNet-V2"] == 0 || byName["ResNeXt-50"] == 0 {
+		t.Errorf("grouped networks missing from zoo listing: %v", byName)
+	}
 }
 
 // TestCompileMatchesDirectAndGolden is the acceptance differential: the
@@ -170,6 +173,47 @@ func TestCompileInlineSpec(t *testing.T) {
 	}
 	if p.Totals.Speedup < 1 {
 		t.Errorf("speedup %v < 1", p.Totals.Speedup)
+	}
+}
+
+// TestCompileGrouped serves grouped convolutions end-to-end: the MobileNet-V2
+// zoo entry and the grouped example spec both compile over /v1/compile, the
+// response re-validates, and the depthwise layers keep their group structure
+// in the returned plan.
+func TestCompileGrouped(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/compile", `{"network": "MobileNet-V2", "array": "512x512"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	p, err := compile.FromJSON(body)
+	if err != nil {
+		t.Fatalf("response does not re-validate: %v", err)
+	}
+	grouped := 0
+	for _, lp := range p.Layers {
+		if lp.Search.Best.Layer.NumGroups() > 1 {
+			grouped++
+		}
+	}
+	if grouped == 0 {
+		t.Error("served MobileNet-V2 plan has no grouped layers")
+	}
+	if p.Totals.Speedup < 1 {
+		t.Errorf("speedup %v < 1", p.Totals.Speedup)
+	}
+
+	spec, err := os.ReadFile("../../examples/networks/mobile.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := fmt.Sprintf(`{"network": %s, "array": "256x256"}`, spec)
+	resp, body = post(t, ts.URL+"/v1/compile", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline grouped spec: status %d: %s", resp.StatusCode, body)
+	}
+	if p, err = compile.FromJSON(body); err != nil || p.Network.Name != "MobileTiny" {
+		t.Fatalf("inline grouped spec response: %v %q", err, p.Network.Name)
 	}
 }
 
@@ -254,6 +298,9 @@ func TestCompileErrorPaths(t *testing.T) {
 		{"bad scheme", `{"network": "VGG-13", "array": "64x64", "options": {"scheme": "magic"}}`, http.StatusUnprocessableEntity},
 		{"bad variant", `{"network": "VGG-13", "array": "64x64", "options": {"variant": "magic"}}`, http.StatusUnprocessableEntity},
 		{"negative arrays", `{"network": "VGG-13", "array": "64x64", "options": {"arrays": -2}}`, http.StatusUnprocessableEntity},
+		{"negative groups", `{"network": {"name": "t", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 4, "oc": 4, "groups": -1}]}, "array": "64x64"}`, http.StatusUnprocessableEntity},
+		{"ic not divisible by groups", `{"network": {"name": "t", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 5, "oc": 6, "groups": 3}]}, "array": "64x64"}`, http.StatusUnprocessableEntity},
+		{"oc not divisible by groups", `{"network": {"name": "t", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 6, "oc": 4, "groups": 3}]}, "array": "64x64"}`, http.StatusUnprocessableEntity},
 		{"oversized body", `{"network": "` + strings.Repeat("x", 600) + `"}`, http.StatusRequestEntityTooLarge},
 	}
 	for _, tc := range cases {
@@ -275,6 +322,15 @@ func TestCompileErrorPaths(t *testing.T) {
 		if e.Error.Status != tc.status || e.Error.Message == "" {
 			t.Errorf("%s: error payload %+v", tc.name, e.Error)
 		}
+	}
+
+	// The grouped-spec rejection names the actual divisibility problem, so a
+	// client can fix the spec without reading server logs.
+	resp1, body1 := post(t, ts.URL+"/v1/compile",
+		`{"network": {"name": "t", "layers": [{"name": "c", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 5, "oc": 6, "groups": 3}]}, "array": "64x64"}`)
+	if resp1.StatusCode != http.StatusUnprocessableEntity ||
+		!strings.Contains(string(body1), "input channels 5 not divisible by groups 3") {
+		t.Errorf("grouped divisibility error not surfaced: %d %s", resp1.StatusCode, body1)
 	}
 
 	// Wrong methods are rejected by the mux method patterns.

@@ -180,6 +180,14 @@ func VGG16() Network { return model.VGG16() }
 // AlexNet returns an AlexNet layer table (extra network, strided conv1).
 func AlexNet() Network { return model.AlexNet() }
 
+// MobileNetV2 returns the MobileNet-V2 layer table (inverted residuals:
+// pointwise expand, depthwise 3×3, pointwise project).
+func MobileNetV2() Network { return model.MobileNetV2() }
+
+// ResNeXt50 returns the ResNeXt-50 (32×4d) layer table (grouped 3×3
+// bottlenecks with cardinality 32).
+func ResNeXt50() Network { return model.ResNeXt50() }
+
 // Networks returns every predefined network.
 func Networks() []Network { return model.All() }
 

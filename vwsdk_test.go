@@ -59,16 +59,27 @@ func TestFacadeCostFunctions(t *testing.T) {
 }
 
 func TestFacadeNetworks(t *testing.T) {
-	if len(Networks()) != 4 {
-		t.Errorf("Networks() = %d entries, want 4", len(Networks()))
+	if len(Networks()) != 6 {
+		t.Errorf("Networks() = %d entries, want 6", len(Networks()))
 	}
 	n, err := NetworkByName("ResNet-18")
 	if err != nil || len(n.Layers) != 5 {
 		t.Fatalf("NetworkByName: %v, %d layers", err, len(n.Layers))
 	}
 	if VGG13().Name != "VGG-13" || ResNet18().Name != "ResNet-18" ||
-		VGG16().Name != "VGG-16" || AlexNet().Name != "AlexNet" {
+		VGG16().Name != "VGG-16" || AlexNet().Name != "AlexNet" ||
+		MobileNetV2().Name != "MobileNet-V2" || ResNeXt50().Name != "ResNeXt-50" {
 		t.Error("zoo constructors mislabeled")
+	}
+	// The grouped zoo entries expose their group structure through the facade.
+	grouped := 0
+	for _, l := range MobileNetV2().Layers {
+		if l.NumGroups() > 1 {
+			grouped++
+		}
+	}
+	if grouped == 0 {
+		t.Error("facade MobileNet-V2 lost its depthwise layers")
 	}
 }
 
