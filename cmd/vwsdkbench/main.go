@@ -6,12 +6,21 @@
 // CI runs it with -benchtime 1x, uploads the JSON as an artifact, and fails
 // the job via -check-reduction when the pruning regresses toward parity.
 //
+// With -serve it instead benchmarks the vwsdkd HTTP surface in-process —
+// cold/warm /v1/compile and the streaming /v1/sweep — and writes
+// BENCH_serve.json (p50/p99 latency and allocs/request per endpoint, plus
+// the warm plan path's allocation count, which must be 0). The matching CI
+// gate is -check-against, which compares a fresh run to the committed
+// snapshot.
+//
 // Examples:
 //
 //	vwsdkbench                            # 10ms per timed loop, writes BENCH_search.json
 //	vwsdkbench -benchtime 1x -o out.json  # one iteration per loop (CI smoke)
 //	vwsdkbench -filter VGG-13 -benchtime 100ms
 //	vwsdkbench -check-reduction 10        # exit 1 unless some Table-I layer prunes ≥10x
+//	vwsdkbench -serve                     # serve benchmark, writes BENCH_serve.json
+//	vwsdkbench -serve -benchtime 1x -check-against BENCH_serve.json
 package main
 
 import (
@@ -37,10 +46,12 @@ func main() {
 func run(args []string, out, progress io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vwsdkbench", flag.ContinueOnError)
 	var (
-		outPath   = fs.String("o", "BENCH_search.json", "output file; - writes the JSON to stdout")
+		outPath   = fs.String("o", "", "output file (default BENCH_search.json, or BENCH_serve.json with -serve); - writes the JSON to stdout")
 		benchtime = fs.String("benchtime", "10ms", "minimum time per timed loop, or Nx for exactly N iterations (only 1x is supported)")
 		filter    = fs.String("filter", "", "run only workloads whose name contains this substring")
 		check     = fs.Float64("check-reduction", 0, "exit non-zero unless the best Table-I candidate reduction is at least this factor")
+		serve     = fs.Bool("serve", false, "benchmark the HTTP serve path (cold/warm compile, streaming sweep) instead of the search")
+		against   = fs.String("check-against", "", "with -serve: exit non-zero if serve allocations regress versus this committed BENCH_serve.json")
 		quiet     = fs.Bool("quiet", false, "suppress per-workload progress output")
 		timeout   = fs.Duration("timeout", 0, "abort the harness after this long (0 = no deadline)")
 		version   = fs.Bool("version", false, "print the version and exit")
@@ -85,6 +96,21 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *serve {
+		if *check > 0 {
+			return fmt.Errorf("-check-reduction applies to the search benchmark, not -serve")
+		}
+		if *filter != "" {
+			return fmt.Errorf("-filter applies to the search benchmark, not -serve")
+		}
+		return runServe(ctx, opts, *outPath, *against, out, progress)
+	}
+	if *against != "" {
+		return fmt.Errorf("-check-against requires -serve")
+	}
+	if *outPath == "" {
+		*outPath = "BENCH_search.json"
+	}
 	rep, err := bench.Run(ctx, opts)
 	if err != nil {
 		return err
@@ -108,6 +134,81 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 	if *check > 0 && rep.MaxTable1Reduction < *check {
 		return fmt.Errorf("pruned-vs-exhaustive candidate reduction regressed: best Table-I factor %.1fx < required %.1fx",
 			rep.MaxTable1Reduction, *check)
+	}
+	return nil
+}
+
+// runServe executes the serve benchmark, writes the report, and applies the
+// -check-against regression gate.
+func runServe(ctx context.Context, opts bench.Options, outPath, against string, out, progress io.Writer) error {
+	rep, err := bench.RunServe(ctx, opts)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		outPath = "BENCH_serve.json"
+	}
+	if outPath == "-" {
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s: %d endpoints, warm plan path allocs %g\n",
+			outPath, len(rep.Endpoints), rep.WarmPlanPathAllocs)
+	}
+	if against != "" {
+		return checkServe(rep, against)
+	}
+	return nil
+}
+
+// checkServe fails when the fresh serve run allocates more than the committed
+// snapshot allows. Latency is machine-dependent and not gated; allocation
+// counts are deterministic, so they are: the warm plan path may never exceed
+// the snapshot (committed at 0), and warm-compile end-to-end allocs/request
+// get 25%+16 headroom for Go-runtime and net/http drift.
+func checkServe(rep *bench.ServeReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-check-against: %w", err)
+	}
+	var base bench.ServeReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-check-against: parse %s: %w", path, err)
+	}
+	if base.Schema != bench.ServeSchema {
+		return fmt.Errorf("-check-against: %s has schema %q, want %q", path, base.Schema, bench.ServeSchema)
+	}
+	if rep.WarmPlanPathAllocs > base.WarmPlanPathAllocs {
+		return fmt.Errorf("warm plan path allocations regressed: %g/request > committed %g",
+			rep.WarmPlanPathAllocs, base.WarmPlanPathAllocs)
+	}
+	got := findEndpoint(rep, "compile-warm")
+	want := findEndpoint(&base, "compile-warm")
+	if got == nil || want == nil {
+		return fmt.Errorf("-check-against: compile-warm endpoint missing (run=%v, committed=%v)", got != nil, want != nil)
+	}
+	limit := int64(float64(want.AllocsPerRequest)*1.25) + 16
+	if got.AllocsPerRequest > limit {
+		return fmt.Errorf("warm /v1/compile allocations regressed: %d/request > limit %d (committed %d)",
+			got.AllocsPerRequest, limit, want.AllocsPerRequest)
+	}
+	return nil
+}
+
+func findEndpoint(rep *bench.ServeReport, name string) *bench.ServeEndpointResult {
+	for i := range rep.Endpoints {
+		if rep.Endpoints[i].Name == name {
+			return &rep.Endpoints[i]
+		}
 	}
 	return nil
 }

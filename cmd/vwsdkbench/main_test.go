@@ -111,6 +111,79 @@ func TestRunStdout(t *testing.T) {
 	}
 }
 
+// TestRunServe smoke-runs the -serve benchmark in CI mode, validates the
+// written report, and exercises the -check-against gate in both directions:
+// a fresh run checked against itself passes, while a doctored snapshot with
+// lower allocation numbers must fail.
+func TestRunServe(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_serve.json")
+	var stdout, progress bytes.Buffer
+	if err := run([]string{"-serve", "-benchtime", "1x", "-o", out}, &stdout, &progress); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != bench.ServeSchema || len(rep.Endpoints) != 3 {
+		t.Fatalf("report header/shape: schema=%q endpoints=%d", rep.Schema, len(rep.Endpoints))
+	}
+	if rep.WarmPlanPathAllocs != 0 && !bench.RaceEnabled {
+		t.Errorf("warm plan path allocs = %v, want 0", rep.WarmPlanPathAllocs)
+	}
+	if !strings.Contains(progress.String(), "wrote "+out) {
+		t.Errorf("progress output missing summary:\n%s", progress.String())
+	}
+
+	// Gate against the run's own output: must pass. Under -race the warm
+	// plan path picks up nondeterministic instrumentation allocations, so
+	// run-vs-run comparisons are only meaningful in regular builds.
+	if !bench.RaceEnabled {
+		if err := run([]string{"-serve", "-benchtime", "1x", "-quiet", "-o", filepath.Join(dir, "b.json"),
+			"-check-against", out}, &stdout, &progress); err != nil {
+			t.Errorf("self-check failed: %v", err)
+		}
+	}
+
+	// Doctor the snapshot so every fresh run looks like a regression.
+	doctored := rep
+	doctored.Endpoints = append([]bench.ServeEndpointResult(nil), rep.Endpoints...)
+	for i := range doctored.Endpoints {
+		if doctored.Endpoints[i].Name == "compile-warm" {
+			doctored.Endpoints[i].AllocsPerRequest = -100
+		}
+	}
+	bad, _ := json.Marshal(doctored)
+	badPath := filepath.Join(dir, "doctored.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-serve", "-benchtime", "1x", "-quiet", "-o", filepath.Join(dir, "c.json"),
+		"-check-against", badPath}, &stdout, &progress)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("doctored snapshot passed the gate: %v", err)
+	}
+}
+
+// TestRunServeFlagConflicts pins the flag combinations that make no sense.
+func TestRunServeFlagConflicts(t *testing.T) {
+	var out, progress bytes.Buffer
+	if err := run([]string{"-serve", "-check-reduction", "10"}, &out, &progress); err == nil {
+		t.Error("-serve -check-reduction accepted")
+	}
+	if err := run([]string{"-serve", "-filter", "VGG"}, &out, &progress); err == nil {
+		t.Error("-serve -filter accepted")
+	}
+	if err := run([]string{"-check-against", "x.json", "-benchtime", "1x"}, &out, &progress); err == nil {
+		t.Error("-check-against without -serve accepted")
+	}
+}
+
 // TestRunTimeoutExpired pins the -timeout flag: an already-expired deadline
 // aborts the harness with a context error instead of running the grid.
 func TestRunTimeoutExpired(t *testing.T) {

@@ -8,6 +8,7 @@
 //
 //	vwsdkd -addr :8080
 //	vwsdkd -addr 127.0.0.1:0 -workers 4 -plan-cache 256 -timeout 30s -quiet
+//	vwsdkd -addr :8080 -pprof 127.0.0.1:6060   # opt-in profiling listener
 //
 //	curl -s localhost:8080/healthz
 //	curl -s -X POST localhost:8080/v1/compile \
@@ -27,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +67,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout   = fs.Duration("timeout", 0, "per-request deadline; exceeding it returns a structured 504 (0 = none)")
 		jobTTL    = fs.Duration("job-ttl", 0, "how long finished jobs stay queryable (0 default 10m, <0 collect immediately)")
 		maxJobs   = fs.Int("max-jobs", 0, "max queued or running jobs (0 default 64)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this extra address (empty = off; never on the API listener)")
 		quiet     = fs.Bool("quiet", false, "disable the per-request access log")
 		version   = fs.Bool("version", false, "print the version and exit")
 	)
@@ -97,6 +100,27 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "vwsdkd: listening on %s\n", ln.Addr())
+
+	// The profiling endpoint is opt-in and binds its own listener so the
+	// API port never exposes pprof, even behind a forgiving reverse proxy.
+	var pprofServer *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofServer = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		fmt.Fprintf(out, "vwsdkd: pprof listening on %s\n", pln.Addr())
+		go pprofServer.Serve(pln)
+		defer pprofServer.Close()
+	}
 
 	// No blanket ReadTimeout/WriteTimeout: sweep streams are legitimately
 	// long-lived. Header and idle timeouts are what keep slow or abandoned

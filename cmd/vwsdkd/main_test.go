@@ -99,6 +99,76 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 }
 
+var pprofLine = regexp.MustCompile(`pprof listening on (\S+)`)
+
+// TestRunPprofEndpoint boots the daemon with the opt-in -pprof listener and
+// checks the profile index is served there — and that the API listener does
+// not expose it.
+func TestRunPprofEndpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0", "-quiet"}, &out)
+	}()
+
+	var apiAddr, profAddr string
+	deadline := time.Now().Add(10 * time.Second)
+	for profAddr == "" || apiAddr == "" {
+		s := out.String()
+		if m := pprofLine.FindStringSubmatch(s); m != nil {
+			profAddr = m[1]
+		}
+		if m := listenLine.FindStringSubmatch(s); m != nil {
+			apiAddr = m[1]
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listening lines:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if apiAddr == profAddr {
+		t.Fatalf("pprof bound to the API address %s", apiAddr)
+	}
+
+	resp, err := http.Get("http://" + profAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: %d %s", resp.StatusCode, body)
+	}
+
+	// The API listener must not serve the profiler.
+	resp, err = http.Get("http://" + apiAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("API listener serves /debug/pprof/")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(shutdownTimeout + 5*time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 // TestRunVersion checks -version prints the tool name and exits without
 // binding a socket.
 func TestRunVersion(t *testing.T) {
@@ -116,6 +186,7 @@ func TestRunBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-nonsense"},
 		{"-addr", "not-an-address"},
+		{"-addr", "127.0.0.1:0", "-pprof", "not-an-address"},
 	} {
 		var out syncBuffer
 		if err := run(context.Background(), args, &out); err == nil {

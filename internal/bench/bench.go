@@ -134,6 +134,14 @@ type LayerResult struct {
 	CandidatesExhaustive int64   `json:"candidates_exhaustive"`
 	Reduction            float64 `json:"reduction"`
 
+	// SearchPath names the search implementation the router chose
+	// ("closed-form" for dense unit-stride layers, "pruned" otherwise);
+	// CostModelEvals counts the cost-model calls it actually paid — one per
+	// class for the pruned enumerator, at most one (the argmin
+	// materialization) for the closed form.
+	SearchPath     string `json:"search_path"`
+	CostModelEvals int    `json:"cost_model_evals"`
+
 	// DenseEquivalentCosted/DenseEquivalentFeasible (grouped layers only)
 	// are the pruned search's candidate statistics for the same geometry
 	// with grouping dropped. Window feasibility is group-independent, so
@@ -255,7 +263,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 // measure times one workload and gathers its candidate statistics.
 func measure(ctx context.Context, w Workload, opts Options) (LayerResult, error) {
 	l := w.Layer.Normalized()
-	res, err := core.SearchVWSDKContext(ctx, l, w.Array)
+	res, stats, err := core.SearchVWSDKInstrumented(ctx, l, w.Array)
 	if err != nil {
 		return LayerResult{}, err
 	}
@@ -270,6 +278,9 @@ func measure(ctx context.Context, w Workload, opts Options) (LayerResult, error)
 		CandidatesCosted:     res.Evaluated,
 		CandidatesFeasible:   res.Swept,
 		CandidatesExhaustive: core.ExhaustiveCandidates(l, core.VariantFull),
+
+		SearchPath:     stats.Path,
+		CostModelEvals: stats.CostModelCalls,
 
 		Cycles: res.Best.Cycles,
 		Tile:   res.Best.TileString(),

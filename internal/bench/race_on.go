@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Its instrumentation allocates on its own, so the allocation invariants the
+// serve benchmark pins (warm plan path == 0) only hold in regular builds;
+// tests consult this to relax exact-zero assertions under -race.
+const RaceEnabled = true

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunServeOnce runs the serve benchmark in its CI smoke configuration and
+// checks the report shape plus the invariants the regression gate relies on.
+func TestRunServeOnce(t *testing.T) {
+	rep, err := RunServe(context.Background(), Options{Once: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ServeSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ServeSchema)
+	}
+	if rep.Benchtime != "1x" {
+		t.Errorf("benchtime = %q, want 1x", rep.Benchtime)
+	}
+	want := []string{"compile-cold", "compile-warm", "sweep-stream"}
+	if len(rep.Endpoints) != len(want) {
+		t.Fatalf("got %d endpoints, want %d", len(rep.Endpoints), len(want))
+	}
+	for i, ep := range rep.Endpoints {
+		if ep.Name != want[i] {
+			t.Errorf("endpoint %d = %q, want %q", i, ep.Name, want[i])
+		}
+		if ep.Requests <= 0 || ep.P50Ns <= 0 || ep.P99Ns < ep.P50Ns {
+			t.Errorf("%s: implausible samples: %+v", ep.Name, ep)
+		}
+		if ep.ResponseBytes <= 0 {
+			t.Errorf("%s: empty responses", ep.Name)
+		}
+	}
+	// The compile endpoints serve the identical cached document, so their
+	// response sizes must agree.
+	if c, w := rep.Endpoints[0].ResponseBytes, rep.Endpoints[1].ResponseBytes; c != w {
+		t.Errorf("cold response %d bytes, warm %d bytes; want identical", c, w)
+	}
+	if rep.WarmPlanPathAllocs != 0 && !RaceEnabled {
+		t.Errorf("warm plan path allocs = %v, want 0", rep.WarmPlanPathAllocs)
+	}
+}

@@ -3,17 +3,30 @@ package compile
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 )
 
-// ToJSON serializes the plan, indented, for caching and tooling. Physical
-// mapping plans (Options.Plans) are execution artifacts and are not
-// serialized; rebuild them with mapping.NewPlan from the per-layer mappings.
+// ToJSON serializes the plan, indented, for the CLI, golden files and
+// tooling. Physical mapping plans (Options.Plans) are execution artifacts
+// and are not serialized; rebuild them with mapping.NewPlan from the
+// per-layer mappings.
 func (p *NetworkPlan) ToJSON() ([]byte, error) {
 	data, err := json.MarshalIndent(p, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("compile: marshal plan: %w", err)
 	}
 	return append(data, '\n'), nil
+}
+
+// Encode writes the plan to w as a single compact JSON document with a
+// trailing newline — the serving serialization: vwsdkd caches and serves
+// these bytes, so the wire format skips ToJSON's indentation (roughly a
+// third of the indented size for zoo networks). FromJSON reads both forms.
+func (p *NetworkPlan) Encode(w io.Writer) error {
+	if err := json.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("compile: encode plan: %w", err)
+	}
+	return nil
 }
 
 // FromJSON deserializes a plan produced by ToJSON and validates that its

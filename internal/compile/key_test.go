@@ -105,6 +105,42 @@ func TestKeyCanonicalizes(t *testing.T) {
 	}
 }
 
+// TestKeyAllocs pins the serve-path cost of Key: with the pooled AppendKey
+// buffer warm, the only allocation per call is the returned string.
+func TestKeyAllocs(t *testing.T) {
+	req := NewRequest(model.VGG13(), array512, Options{})
+	if _, err := Key(req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Key(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("Key allocates %.1f times per call, want ≤ 1", allocs)
+	}
+}
+
+// TestAppendKeyZeroAlloc pins that AppendKey itself is allocation-free once
+// the destination buffer has capacity — the property the server's warm-hit
+// fast path relies on.
+func TestAppendKeyZeroAlloc(t *testing.T) {
+	req := NewRequest(model.VGG13(), array512, Options{})
+	buf, err := AppendKey(nil, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := AppendKey(buf[:0], req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendKey allocates %.1f times per call, want 0", allocs)
+	}
+}
+
 // TestKeyRejectsInvalid pins that Key fails on the same inputs Compile
 // rejects instead of minting keys for uncompilable requests.
 func TestKeyRejectsInvalid(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -73,6 +74,20 @@ func FuzzSearchEquivalence(f *testing.F) {
 			if pruned.Evaluated > exh.Evaluated {
 				t.Fatalf("%v %s %v: pruned costed %d classes > %d exhaustive candidates",
 					l, a, v, pruned.Evaluated, exh.Evaluated)
+			}
+			// VariantFull resolves through the closed-form/pruned router;
+			// additionally pin the whole Result against the pruned enumerator
+			// run explicitly, so the closed form (when eligible) is fuzzed
+			// against both references.
+			if v == VariantFull {
+				enum, err := searchVWSDKPruned(context.Background(), l.Normalized(), a, nil)
+				if err != nil {
+					t.Fatalf("%v %s: pruned enumerator: %v", l, a, err)
+				}
+				if !reflect.DeepEqual(pruned, enum) {
+					t.Fatalf("%v %s: auto search differs from pruned enumerator\nauto   %+v\npruned %+v",
+						l, a, pruned, enum)
+				}
 			}
 		}
 	})

@@ -49,12 +49,14 @@ func checkpoint(ctx context.Context) error { return ctx.Err() }
 // larger than the rows can hold even one channel, or more windows than
 // columns) are skipped.
 //
-// The default implementation is the breakpoint-pruned enumerator
-// (search_pruned.go): it costs one representative per constant-cycle run of
-// candidate widths instead of every candidate, and is bit-identical —
-// including the first-strictly-better tie-break — to the brute-force sweep,
-// which remains available as SearchVWSDKExhaustive for differential and fuzz
-// testing.
+// The default implementation routes by layer shape: dense, unit-stride
+// layers run the closed-form argmin search (search_closed.go), which
+// evaluates each constant-cycle cost class arithmetically and pays at most
+// one cost-model call to materialize the winner; every other shape runs the
+// breakpoint-pruned enumerator (search_pruned.go), which costs one
+// representative per class. Both are bit-identical — including the
+// first-strictly-better tie-break — to the brute-force sweep, which remains
+// available as SearchVWSDKExhaustive for differential and fuzz testing.
 //
 // SearchVWSDK never cancels; SearchVWSDKContext is the same search under a
 // caller context with cooperative cancellation checkpoints.
@@ -66,7 +68,7 @@ func SearchVWSDK(l Layer, a Array) (Result, error) {
 // cancellation once per candidate row and returns ctx.Err() as soon as it
 // observes it, so an abandoned request stops burning CPU mid-search.
 func SearchVWSDKContext(ctx context.Context, l Layer, a Array) (Result, error) {
-	return searchVWSDKPruned(ctx, l.Normalized(), a)
+	return searchVWSDKAuto(ctx, l.Normalized(), a, nil)
 }
 
 // SearchVWSDKExhaustive is the brute-force Algorithm 1 sweep: every
@@ -271,7 +273,7 @@ func SearchVariantContext(ctx context.Context, l Layer, a Array, v Variant) (Res
 	l = l.Normalized()
 	switch v {
 	case VariantFull:
-		return searchVWSDKPruned(ctx, l, a)
+		return searchVWSDKAuto(ctx, l, a, nil)
 	case VariantSquareTiled:
 		return searchSquareTiledPruned(ctx, l, a)
 	case VariantRectFullChannel:

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// This file implements the closed-form Algorithm 1 search that SearchVWSDK
+// routes dense, unit-stride layers through. The breakpoint-pruned enumerator
+// (search_pruned.go) already walks one representative per constant-cycle cost
+// class, but still pays a cost-model call (SweepVW → Mapping construction)
+// per class. Eq. 8's cycle count, however, is a product of at most four step
+// terms, each of which the class walk already knows in closed form:
+//
+//	Cycles(h, w) = ⌈OutW/NwW⌉ · ⌈OutH/NwH⌉ · ⌈IC/ICt⌉ · ⌈OC/OCt⌉
+//
+// with ICt = min(⌊Rows/(w·h)⌋, IC) and OCt = min(⌊Cols/(NwW·NwH)⌋, OC). The
+// closed-form search therefore evaluates every class start with pure integer
+// arithmetic — no Mapping is built, no cost model runs — tracks the argmin
+// under Algorithm 1's first-strictly-better tie-break, and materializes only
+// the single winning candidate through SweepVW at the end. Cost-model
+// evaluations drop from one per class (typically dozens per layer) to at
+// most one per search; Result (Best, Im2col, Evaluated, Swept) is
+// bit-identical to the pruned and exhaustive paths, pinned by the zoo
+// differential tests and FuzzSearchEquivalence.
+//
+// Preconditions (DESIGN.md §8): the derivation is proven for dense layers
+// (NumGroups == 1, so the ICt/OCt caps are the plain channel counts and the
+// ×Groups factor is 1) with unit strides (so NwW = w−KW+1 is strictly
+// increasing in w and the "winner is a class start" scan-order argument is
+// exact). Grouped or strided layers fall back to the pruned enumerator,
+// which validates every class against the cost model itself; routing is
+// pinned by TestClosedFormRouting so a silent always-fallback cannot creep
+// in.
+
+// SearchStats reports how a VW-SDK search arrived at its Result. It is
+// diagnostic metadata — never part of Result, so serialized plans and the
+// VGG-13 golden file are unaffected.
+type SearchStats struct {
+	// Path names the search implementation that ran: PathClosedForm or
+	// PathPruned.
+	Path string
+
+	// CostModelCalls counts the candidate Mapping constructions (SweepVW
+	// calls) the search performed, excluding the im2col seed. The pruned
+	// enumerator pays one per cost class (== Result.Evaluated); the
+	// closed-form search pays at most one, to materialize the winner.
+	CostModelCalls int
+}
+
+// The Path values SearchStats reports.
+const (
+	PathClosedForm = "closed-form"
+	PathPruned     = "pruned"
+)
+
+// ClosedFormEligible reports whether SearchVWSDK resolves layer l with the
+// closed-form argmin search (dense, unit-stride layers) rather than the
+// breakpoint-pruned enumerator fallback. Exposed so reports and tests can
+// assert the routing.
+func ClosedFormEligible(l Layer) bool {
+	return closedFormEligible(l.Normalized())
+}
+
+// closedFormEligible is ClosedFormEligible for an already-normalized layer:
+// the closed-form derivation covers dense unit-stride convolutions (padding
+// only enlarges the scanned rectangle and is fine).
+func closedFormEligible(l Layer) bool {
+	return l.NumGroups() == 1 && l.StrideW == 1 && l.StrideH == 1
+}
+
+// searchVWSDKAuto routes a normalized layer to the closed-form search when
+// its preconditions hold and to the pruned enumerator otherwise, recording
+// the choice in st (which may be nil).
+func searchVWSDKAuto(ctx context.Context, l Layer, a Array, st *SearchStats) (Result, error) {
+	if closedFormEligible(l) {
+		if st != nil {
+			st.Path = PathClosedForm
+		}
+		return searchVWSDKClosed(ctx, l, a, st)
+	}
+	if st != nil {
+		st.Path = PathPruned
+	}
+	return searchVWSDKPruned(ctx, l, a, st)
+}
+
+// SearchVWSDKInstrumented is SearchVWSDK plus the SearchStats describing how
+// the result was obtained (which path ran, how many cost-model evaluations
+// it paid). The Result is identical to SearchVWSDK's.
+func SearchVWSDKInstrumented(ctx context.Context, l Layer, a Array) (Result, SearchStats, error) {
+	var st SearchStats
+	res, err := searchVWSDKAuto(ctx, l.Normalized(), a, &st)
+	return res, st, err
+}
+
+// searchVWSDKClosed is the closed-form Algorithm 1 for dense, unit-stride
+// layers (closedFormEligible must hold; l must be normalized). It walks the
+// same (height, width-class) structure as searchVWSDKPruned — identical loop
+// bounds, early exits, per-row cancellation checkpoints and class-end
+// algebra — but evaluates each class's cycle count arithmetically and defers
+// the cost model to a single materializing call for the argmin.
+func searchVWSDKClosed(ctx context.Context, l Layer, a Array, st *SearchStats) (Result, error) {
+	base, err := Im2col(l, a)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Best: base, Im2col: base, Swept: sweptVWSDK(l, a)}
+	W, H := l.PaddedW(), l.PaddedH()
+	outW, outH := l.OutW(), l.OutH()
+	// Dense: the per-group channel counts are the full channel counts and
+	// the ×Groups cycle factor is 1.
+	ic, oc := l.IC, l.OC
+	bestCycles := base.Cycles
+	bestW, bestH := 0, 0 // 0 = the im2col seed is still winning
+	for h := l.KH; h <= H; h++ {
+		if err := checkpoint(ctx); err != nil {
+			return Result{}, err
+		}
+		// Monotone early-exit on the height axis, as in the pruned walk.
+		if l.KW*h > a.Rows {
+			break
+		}
+		nwH := h - l.KH + 1 // unit stride: (h-KH)/1 + 1
+		if nwH > a.Cols {
+			break
+		}
+		npwH := ceilDiv(outH, nwH)
+		w := l.KW
+		if h == l.KH {
+			w++ // the im2col seed covers the kernel-sized window
+		}
+		for w <= W {
+			// Monotone early-exit on the width axis.
+			if w*h > a.Rows {
+				break
+			}
+			nwW := w - l.KW + 1
+			if nwW*nwH > a.Cols {
+				break
+			}
+			// Eq. 8 for this class, in closed form — exactly SweepVW's
+			// arithmetic for a dense layer, without building the Mapping.
+			ict := min(a.Rows/(w*h), ic)
+			oct := min(a.Cols/(nwW*nwH), oc)
+			npwW := ceilDiv(outW, nwW)
+			npw := npwW * npwH
+			cycles := int64(npw) * int64(ceilDiv(ic, ict)) * int64(ceilDiv(oc, oct))
+			res.Evaluated++
+			if cycles < bestCycles {
+				bestCycles, bestW, bestH = cycles, w, h
+			}
+			// Class end, mirroring vwClassEnd's algebra on scalars: the class
+			// extends while ICt, OCt and ⌈OutW/NwW⌉ are all unchanged.
+			end := a.Rows / (h * ict)
+			nwWEnd := a.Cols / (nwH * oct)
+			if npwW > 1 {
+				nwWEnd = min(nwWEnd, (outW-1)/(npwW-1))
+			}
+			end = min(end, l.KW+nwWEnd-1, W)
+			w = max(end, w) + 1
+		}
+	}
+	if bestW == 0 {
+		return res, nil // nothing beat the im2col seed
+	}
+	// Materialize the argmin — the search's only cost-model call.
+	m, err := SweepVW(l, a, Window{W: bestW, H: bestH})
+	if err != nil {
+		// Unreachable: the loop's feasibility checks are exactly SweepVW's.
+		// Kept so a future cost-model change fails loudly.
+		return Result{}, err
+	}
+	if st != nil {
+		st.CostModelCalls++
+	}
+	if m.Cycles != bestCycles {
+		// Unreachable: the arithmetic above mirrors SweepVW term by term.
+		// A divergence means the closed form no longer matches the cost
+		// model — fail loudly rather than serve a silently wrong plan.
+		return Result{}, fmt.Errorf("core: closed-form search diverged from cost model for %s window %dx%d: computed %d cycles, cost model %d",
+			l.Name, bestW, bestH, bestCycles, m.Cycles)
+	}
+	res.Best = m
+	return res, nil
+}

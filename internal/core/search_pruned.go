@@ -45,8 +45,9 @@ import (
 // normalized. Result.Evaluated counts the cost classes actually costed;
 // Result.Swept counts the feasible candidates the exhaustive sweep costs
 // (the legacy Evaluated), computed analytically. The loop checks ctx once
-// per candidate row (the cooperative cancellation checkpoint).
-func searchVWSDKPruned(ctx context.Context, l Layer, a Array) (Result, error) {
+// per candidate row (the cooperative cancellation checkpoint). st, which
+// may be nil, accumulates one CostModelCalls per class costed.
+func searchVWSDKPruned(ctx context.Context, l Layer, a Array, st *SearchStats) (Result, error) {
 	base, err := Im2col(l, a)
 	if err != nil {
 		return Result{}, err
@@ -88,6 +89,9 @@ func searchVWSDKPruned(ctx context.Context, l Layer, a Array) (Result, error) {
 				return Result{}, err
 			}
 			res.Evaluated++
+			if st != nil {
+				st.CostModelCalls++
+			}
 			if m.Cycles < res.Best.Cycles {
 				res.Best = m
 			}

@@ -148,7 +148,10 @@ type Stats struct {
 
 	// CandidatesCosted sums Result.Evaluated over every search the engine
 	// actually computed (cache hits and in-flight joins cost nothing): the
-	// number of candidate windows handed to the cost model.
+	// number of candidates evaluated — per cost class for the VW-SDK
+	// searches (whether the class was costed by the model or resolved in
+	// closed form; see core.SearchStats for that split), per window for the
+	// baselines.
 	CandidatesCosted uint64
 
 	// CandidatesPruned counts the candidate windows the exhaustive sweeps

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// TestWarmCompileZeroPlanPathAllocs pins the tentpole property of the serve
+// path: once a plan is cached, serving it — canonical key build, cache
+// lookup, writing the cached serialized bytes — allocates nothing. The
+// measured unit is Server.CachedPlan, exactly the fast path handleCompile
+// runs before any compiling machinery.
+func TestWarmCompileZeroPlanPathAllocs(t *testing.T) {
+	s := New(Config{})
+	req := compile.NewRequest(model.VGG13(), core.Array{Rows: 512, Cols: 512}, compile.Options{})
+
+	// Prime through the real handler so the cache holds what a request
+	// stores.
+	hr := httptest.NewRequest(http.MethodPost, "/v1/compile",
+		strings.NewReader(`{"network": "VGG-13", "array": "512x512"}`))
+	rw := httptest.NewRecorder()
+	s.ServeHTTP(rw, hr)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("prime request status %d: %s", rw.Code, rw.Body.String())
+	}
+
+	ok, err := s.CachedPlan(io.Discard, req)
+	if err != nil || !ok {
+		t.Fatalf("CachedPlan after prime: ok=%v err=%v", ok, err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		ok, err := s.CachedPlan(io.Discard, req)
+		if err != nil || !ok {
+			t.Fatalf("CachedPlan: ok=%v err=%v", ok, err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm plan path allocates %.1f times per request, want 0", allocs)
+	}
+}
+
+// TestCachedPlanMiss pins that CachedPlan does not compile: a cold cache
+// reports a miss and leaves the engine untouched.
+func TestCachedPlanMiss(t *testing.T) {
+	s := New(Config{})
+	req := compile.NewRequest(model.VGG13(), core.Array{Rows: 512, Cols: 512}, compile.Options{})
+	ok, err := s.CachedPlan(io.Discard, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("cold CachedPlan reported a hit")
+	}
+	if got := s.Engine().Stats().Searches; got != 0 {
+		t.Errorf("CachedPlan ran %d searches on a miss, want 0", got)
+	}
+
+	// Invalid requests are reported as errors, not silent misses.
+	if _, err := s.CachedPlan(io.Discard, compile.Request{}); err == nil {
+		t.Error("invalid request accepted")
+	}
+}

@@ -119,6 +119,30 @@ func (c *planCache) do(ctx context.Context, key string, compute func() (*compile
 	return f.entry, false, nil
 }
 
+// hit returns the cached entry for a key still held as bytes, or nil on a
+// miss (which is not counted — the caller falls through to do, which runs
+// and counts the full path). The map lookup converts the key in place
+// (string(key) in index position does not allocate), so a warm /v1/compile
+// hit never materializes the key string: this is the allocation-free fast
+// path the compile handler tries before do.
+func (c *planCache) hit(key []byte) *planEntry {
+	if c.items == nil {
+		return nil
+	}
+	c.mu.Lock()
+	el, ok := c.items[string(key)]
+	var e *planEntry
+	if ok {
+		c.order.MoveToFront(el)
+		e = el.Value.(*planEntry)
+	}
+	c.mu.Unlock()
+	if e != nil {
+		c.hits.Add(1)
+	}
+	return e
+}
+
 // lockedGet returns the cached entry and marks it most recently used; the
 // caller holds mu.
 func (c *planCache) lockedGet(key string) *planEntry {

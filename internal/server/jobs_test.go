@@ -163,12 +163,20 @@ func TestCompileJobMatchesGolden(t *testing.T) {
 	}
 
 	// The plan went through the shared cache: the synchronous endpoint now
-	// hits it and serves the golden bytes verbatim.
+	// hits it and serves the same plan (compact wire encoding).
 	syncResp, syncBody := post(t, ts.URL+"/v1/compile", `{"network": "VGG-13", "array": "512x512"}`)
 	if syncResp.Header.Get("X-Cache") != "hit" {
 		t.Errorf("sync compile after job: X-Cache %q, want hit (shared machinery)", syncResp.Header.Get("X-Cache"))
 	}
-	if !bytes.Equal(syncBody, golden) {
+	syncPlan, err := compile.FromJSON(syncBody)
+	if err != nil {
+		t.Fatalf("sync plan after job does not re-validate: %v", err)
+	}
+	syncReplayed, err := syncPlan.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(syncReplayed, golden) {
 		t.Error("sync bytes after the job differ from the golden file")
 	}
 }

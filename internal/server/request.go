@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
+	"sync"
 
 	"repro/internal/cliutil"
 	"repro/internal/compile"
@@ -40,18 +42,45 @@ type requestOptions struct {
 	GatePeripherals bool   `json:"gate_peripherals"`
 }
 
+// bodyBufPool recycles request-body read buffers across requests; entries
+// retain the capacity past bodies grew them to (bounded by MaxBodyBytes).
+var bodyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
 // decodeJSONBody decodes one strict JSON value from the (size-limited)
 // request body into dst: unknown fields, trailing garbage and oversized
-// bodies are rejected with structured 400/413 errors.
+// bodies are rejected with structured 400/413 errors. The body is read into
+// a pooled buffer and decoded from there, so a warm request does not grow a
+// fresh decode buffer; json.RawMessage fields copy out of the buffer, which
+// is returned to the pool before this function returns.
 func decodeJSONBody(w http.ResponseWriter, r *http.Request, maxBody int64, dst any) *httpError {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBody)
-	dec := json.NewDecoder(r.Body)
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	bp := bodyBufPool.Get().(*[]byte)
+	defer bodyBufPool.Put(bp)
+	buf := (*bp)[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				return errorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			}
+			return errorf(http.StatusBadRequest, "read request: %v", err)
+		}
+	}
+	*bp = buf // keep the grown capacity for the next request
+	dec := json.NewDecoder(bytes.NewReader(buf))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			return errorf(http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
-		}
 		return errorf(http.StatusBadRequest, "parse request: %v", err)
 	}
 	if dec.More() {

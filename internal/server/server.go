@@ -40,15 +40,18 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -362,12 +365,69 @@ func (s *Server) compilePlan(ctx context.Context, key string, req compile.Reques
 		if err != nil {
 			return nil, nil, err
 		}
-		data, err := p.ToJSON()
-		if err != nil {
+		// Serialize compactly once; every request served from this entry —
+		// including warm hits, which are allocation-free — writes these bytes.
+		var buf bytes.Buffer
+		if err := p.Encode(&buf); err != nil {
 			return nil, nil, err
 		}
-		return p, data, nil
+		return p, buf.Bytes(), nil
 	})
+}
+
+// keyBufPool recycles compile.AppendKey scratch buffers across requests, so
+// the warm-hit fast path builds its cache key without allocating.
+var keyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// Shared header value slices: assigning them into the header map directly
+// avoids the per-request []string{v} allocation http.Header.Set would pay.
+var (
+	hdrJSON = []string{"application/json"}
+	hdrHit  = []string{"hit"}
+	hdrMiss = []string{"miss"}
+)
+
+// setPlanHeaders writes the /v1/compile response headers without allocating.
+func setPlanHeaders(h http.Header, cached bool) {
+	h["Content-Type"] = hdrJSON
+	if cached {
+		h["X-Cache"] = hdrHit
+	} else {
+		h["X-Cache"] = hdrMiss
+	}
+}
+
+// cachedEntry builds req's canonical key in a pooled buffer and looks it up
+// in the plan cache, allocating nothing on either hit or miss. It returns
+// nil when the plan is not cached; the error reports an invalid request.
+func (s *Server) cachedEntry(req compile.Request) (*planEntry, error) {
+	bp := keyBufPool.Get().(*[]byte)
+	buf, err := compile.AppendKey((*bp)[:0], req)
+	if err != nil {
+		keyBufPool.Put(bp)
+		return nil, err
+	}
+	*bp = buf // keep the grown capacity
+	entry := s.plans.hit(buf)
+	keyBufPool.Put(bp)
+	return entry, nil
+}
+
+// CachedPlan writes the cached serialized plan for req to w and reports
+// whether one was present, without compiling on a miss. It is the warm-hit
+// fast path of the /v1/compile handler, exported as a measurable unit: the
+// serve benchmark and the allocation regression tests pin it at zero
+// allocations per call.
+func (s *Server) CachedPlan(w io.Writer, req compile.Request) (bool, error) {
+	entry, err := s.cachedEntry(req)
+	if err != nil || entry == nil {
+		return false, err
+	}
+	_, err = w.Write(entry.data)
+	return true, err
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -381,8 +441,20 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
+	// Warm-hit fast path: key bytes in a pooled buffer, byte-keyed cache
+	// lookup, cached serialized bytes, shared header slices — no
+	// allocations, no request context, no singleflight machinery.
+	if entry, err := s.cachedEntry(req); err != nil {
+		writeError(w, errorf(http.StatusUnprocessableEntity, "%v", err))
+		return
+	} else if entry != nil {
+		setPlanHeaders(w.Header(), true)
+		w.Write(entry.data)
+		return
+	}
 	key, err := compile.Key(req)
 	if err != nil {
+		// Unreachable (cachedEntry validated req), kept for defense.
 		writeError(w, errorf(http.StatusUnprocessableEntity, "%v", err))
 		return
 	}
@@ -393,12 +465,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, toHTTPError(err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if cached {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
-	}
+	setPlanHeaders(w.Header(), cached)
 	w.Write(entry.data)
 }
 

@@ -107,9 +107,10 @@ func TestNetworksListsZoo(t *testing.T) {
 }
 
 // TestCompileMatchesDirectAndGolden is the acceptance differential: the
-// /v1/compile response for VGG-13 on 512×512 must be byte-identical to
-// compile.Compile called directly AND to the committed golden plan from the
-// pipeline's own test suite.
+// /v1/compile response for VGG-13 on 512×512 must be byte-identical to the
+// compact encoding of compile.Compile called directly, and semantically
+// identical (through the canonical indented serialization) to the committed
+// golden plan from the pipeline's own test suite.
 func TestCompileMatchesDirectAndGolden(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, body := post(t, ts.URL+"/v1/compile", `{"network": "VGG-13", "array": "512x512"}`)
@@ -125,19 +126,29 @@ func TestCompileMatchesDirectAndGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := direct.ToJSON()
+	var want bytes.Buffer
+	if err := direct.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Error("served plan differs from compile.Compile compact bytes")
+	}
+
+	// The served body re-validates and, re-serialized canonically, still
+	// matches the committed golden file byte for byte.
+	served, err := compile.FromJSON(body)
+	if err != nil {
+		t.Fatalf("served plan does not re-validate: %v", err)
+	}
+	replayed, err := served.ToJSON()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(body, want) {
-		t.Error("served plan differs from compile.Compile bytes")
-	}
-
 	golden, err := os.ReadFile("../compile/testdata/vgg13_512_plan.golden.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(body, golden) {
+	if !bytes.Equal(replayed, golden) {
 		t.Error("served plan differs from the committed golden file")
 	}
 

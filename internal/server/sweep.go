@@ -1,10 +1,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -211,13 +213,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 
-	enc := json.NewEncoder(w)
+	lb := linePool.Get().(*lineBuf)
+	defer linePool.Put(lb)
 	broken := false // client gone: keep draining so cell goroutines can exit
 	err := s.runSweep(ctx, cells, func(sum sweepSummary) {
 		if broken {
 			return
 		}
-		if err := enc.Encode(sum); err != nil {
+		if lb.write(w, sum) != nil {
 			broken = true
 			return
 		}
@@ -226,8 +229,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if errors.Is(err, context.DeadlineExceeded) && !broken {
-		enc.Encode(sweepSummary{Error: fmt.Sprintf("sweep aborted: %v", err)})
+		lb.write(w, sweepSummary{Error: fmt.Sprintf("sweep aborted: %v", err)})
 	}
+}
+
+// lineBuf encodes NDJSON lines through one reusable buffer/encoder pair, so
+// a streaming sweep pays a per-stream — not per-line — encoder allocation.
+type lineBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// linePool recycles lineBufs across sweep streams.
+var linePool = sync.Pool{New: func() any {
+	lb := &lineBuf{}
+	lb.enc = json.NewEncoder(&lb.buf)
+	return lb
+}}
+
+// write encodes sum as one NDJSON line into the pooled buffer and writes it
+// to w in a single Write call.
+func (lb *lineBuf) write(w io.Writer, sum sweepSummary) error {
+	lb.buf.Reset()
+	if err := lb.enc.Encode(sum); err != nil {
+		return err
+	}
+	_, err := w.Write(lb.buf.Bytes())
+	return err
 }
 
 // runCell compiles one sweep cell through the plan cache (blocking

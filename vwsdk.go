@@ -113,6 +113,30 @@ func SearchVWSDKContext(ctx context.Context, l Layer, a Array) (SearchResult, er
 	return core.SearchVWSDKContext(ctx, l, a)
 }
 
+// SearchStats describes how a VW-SDK search was executed: which
+// implementation path ran and how many candidates reached the full cost
+// model. See core.SearchStats.
+type SearchStats = core.SearchStats
+
+// Search implementation paths reported in SearchStats.Path.
+const (
+	SearchPathClosedForm = core.PathClosedForm
+	SearchPathPruned     = core.PathPruned
+)
+
+// ClosedFormEligible reports whether layer l is served by the closed-form
+// argmin search (dense, unit strides; DESIGN.md §8) rather than the
+// breakpoint-pruned enumerator. Both paths return bit-identical results;
+// this only predicts which one SearchVWSDK runs.
+func ClosedFormEligible(l Layer) bool { return core.ClosedFormEligible(l) }
+
+// SearchVWSDKInstrumented is SearchVWSDKContext plus execution statistics:
+// the same Result, and a SearchStats reporting the path taken and the number
+// of full cost-model evaluations.
+func SearchVWSDKInstrumented(ctx context.Context, l Layer, a Array) (SearchResult, SearchStats, error) {
+	return core.SearchVWSDKInstrumented(ctx, l, a)
+}
+
 // SearchVWSDKExhaustive runs the brute-force Algorithm 1 sweep — the
 // reference the pruned default is differentially tested against. It returns
 // the same Best and Im2col as SearchVWSDK.
@@ -463,6 +487,13 @@ func CompileKey(n Network, a Array, opts CompileOptions) (string, error) {
 
 // CompileRequestKey is CompileKey on the canonical request type.
 func CompileRequestKey(req CompileRequest) (string, error) { return compile.Key(req) }
+
+// AppendCompileKey appends the canonical cache key of req to dst and returns
+// the extended slice — the allocation-free form of CompileRequestKey for
+// serving layers that key caches by []byte.
+func AppendCompileKey(dst []byte, req CompileRequest) ([]byte, error) {
+	return compile.AppendKey(dst, req)
+}
 
 // Server is the HTTP compile service behind cmd/vwsdkd: synchronous
 // POST /v1/compile and /v1/sweep plus the asynchronous job API
