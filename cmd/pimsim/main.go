@@ -59,8 +59,10 @@ func run(args []string, out io.Writer) error {
 		quant   = fs.Int("quant", 0, "weight quantization bits (0 = ideal cells)")
 		noise   = fs.Float64("noise", 0, "ADC read-noise sigma (0 = ideal readout)")
 		version = fs.Bool("version", false, "print the version and exit")
+		tf      cliutil.TraceFlags
 		lf      cliutil.LayerFlags
 	)
+	tf.Register(fs)
 	fs.StringVar(&lf.IFM, "ifm", "14x14", "input feature map size WxH")
 	fs.StringVar(&lf.Kernel, "kernel", "3x3", "kernel size WxH")
 	fs.IntVar(&lf.IC, "ic", 64, "input channels")
@@ -88,9 +90,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	// Compile the layer: one call yields the chosen mapping, its energy
-	// report and the physical plan the simulator executes.
-	lp, err := compile.New(core.Serial{}).CompileLayer(context.Background(), l, a, compile.Options{Scheme: sc})
+	// report and the physical plan the simulator executes; -trace records
+	// the compilation's span tree.
+	ctx := tf.Context(context.Background(), "pimsim")
+	lp, err := compile.New(core.Serial{}).CompileLayer(ctx, l, a, compile.Options{Scheme: sc})
 	if err != nil {
+		return err
+	}
+	if err := tf.Write(); err != nil {
 		return err
 	}
 	m := lp.Search.Best

@@ -14,6 +14,7 @@
 //	vwsdk -network ResNet-18 -array 512x512
 //	vwsdk -network mynet.json -array 512x512 -arrays 16
 //	vwsdk -network VGG-13 -array 256x256 -csv
+//	vwsdk -network ResNet-18 -array 512x512 -trace trace.json  # open in chrome://tracing
 package main
 
 import (
@@ -63,9 +64,11 @@ func run(args []string, out io.Writer) (retErr error) {
 		timeout = fs.Duration("timeout", 0, "abort the whole run after this long (0 = no deadline)")
 		version = fs.Bool("version", false, "print the version and exit")
 		prof    cliutil.ProfileFlags
+		tf      cliutil.TraceFlags
 		lf      cliutil.LayerFlags
 	)
 	prof.Register(fs)
+	tf.Register(fs)
 	fs.StringVar(&lf.IFM, "ifm", "14x14", "input feature map size WxH")
 	fs.StringVar(&lf.Kernel, "kernel", "3x3", "kernel size WxH")
 	fs.IntVar(&lf.IC, "ic", 256, "input channels")
@@ -85,13 +88,20 @@ func run(args []string, out io.Writer) (retErr error) {
 		return err
 	}
 	// The one context every compilation below runs under: the -timeout
-	// deadline aborts the searches at their next cancellation checkpoint.
+	// deadline aborts the searches at their next cancellation checkpoint,
+	// and -trace attaches the span recording every compile threads through.
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	ctx = tf.Context(ctx, "vwsdk")
+	defer func() {
+		if terr := tf.Write(); terr != nil && retErr == nil {
+			retErr = terr
+		}
+	}()
 	stopProf, err := prof.Start()
 	if err != nil {
 		return err

@@ -56,8 +56,10 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 		timeout   = fs.Duration("timeout", 0, "abort the harness after this long (0 = no deadline)")
 		version   = fs.Bool("version", false, "print the version and exit")
 		prof      cliutil.ProfileFlags
+		tf        cliutil.TraceFlags
 	)
 	prof.Register(fs)
+	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +98,14 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// -trace records one span per workload (with its timed loops as
+	// children), so a whole benchmark run can be opened in chrome://tracing.
+	ctx = tf.Context(ctx, "vwsdkbench")
+	defer func() {
+		if terr := tf.Write(); terr != nil && retErr == nil {
+			retErr = terr
+		}
+	}()
 	if *serve {
 		if *check > 0 {
 			return fmt.Errorf("-check-reduction applies to the search benchmark, not -serve")

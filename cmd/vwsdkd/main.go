@@ -11,8 +11,11 @@
 //	vwsdkd -addr :8080 -pprof 127.0.0.1:6060   # opt-in profiling listener
 //
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/metrics            # Prometheus text exposition
 //	curl -s -X POST localhost:8080/v1/compile \
 //	  -d '{"network": "VGG-13", "array": "512x512"}'
+//	curl -s -X POST 'localhost:8080/v1/compile?trace=1' \
+//	  -d '{"network": "VGG-13", "array": "512x512"}'   # attaches the span tree
 //	curl -s -X POST localhost:8080/v1/jobs \
 //	  -d '{"sweep": {"networks": ["VGG-13"], "arrays": ["256x256", "512x512"]}}'
 //	curl -s localhost:8080/v1/jobs/job-1

@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Schema identifies the BENCH_search.json document layout; bump on
@@ -232,10 +233,17 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		if opts.Filter != "" && !strings.Contains(w.Name, opts.Filter) {
 			continue
 		}
-		r, err := measure(ctx, w, opts)
+		// One span per workload (with the timed loops inside measure as
+		// children), so a -trace of the whole run shows where the wall
+		// clock went.
+		wctx, sp := obs.Start(ctx, w.Name)
+		r, err := measure(wctx, w, opts)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("bench: %s: %w", w.Name, err)
 		}
+		sp.SetStr("path", r.SearchPath).SetInt("costed", int64(r.CandidatesCosted))
+		sp.End()
 		rep.Workloads = append(rep.Workloads, r)
 		if !w.Stress && r.Reduction > rep.MaxTable1Reduction {
 			rep.MaxTable1Reduction = r.Reduction
@@ -298,20 +306,24 @@ func measure(ctx context.Context, w Workload, opts Options) (LayerResult, error)
 		out.DenseEquivalentCosted = dres.Evaluated
 		out.DenseEquivalentFeasible = dres.Swept
 	}
+	_, psp := obs.Start(ctx, "timed/pruned")
 	out.NsPerOp, out.AllocsPerOp, out.Iters = timeIt(opts, func() {
 		if _, err := core.SearchVWSDK(l, w.Array); err != nil {
 			panic(err) // unreachable: the measured search succeeded above
 		}
 	})
+	psp.SetInt("iters", out.Iters).End()
 	if !w.Stress {
 		if err := ctx.Err(); err != nil {
 			return LayerResult{}, err
 		}
-		exhNs, _, _ := timeIt(opts, func() {
+		_, esp := obs.Start(ctx, "timed/exhaustive")
+		exhNs, _, exhIters := timeIt(opts, func() {
 			if _, err := core.SearchVWSDKExhaustive(l, w.Array); err != nil {
 				panic(err)
 			}
 		})
+		esp.SetInt("iters", exhIters).End()
 		out.ExhaustiveNsPerOp = exhNs
 		if out.NsPerOp > 0 {
 			out.SpeedupVsExhaustive = round1(float64(exhNs) / float64(out.NsPerOp))
@@ -343,12 +355,18 @@ func coldCompile(ctx context.Context, opts Options) (ColdCompileResult, error) {
 	if _, err := compile.New(engine.New()).Compile(ctx, req); err != nil {
 		return ColdCompileResult{}, fmt.Errorf("bench: cold compile: %w", err)
 	}
+	ctx, sp := obs.Start(ctx, "cold-compile")
+	defer sp.End()
 	out := ColdCompileResult{Network: net.Name, Array: a.String()}
+	_, psp := obs.Start(ctx, "timed/pruned")
 	out.NsPerOp, out.AllocsPerOp, _ = timeIt(opts, run())
+	psp.End()
 	if err := ctx.Err(); err != nil {
 		return ColdCompileResult{}, err
 	}
+	_, esp := obs.Start(ctx, "timed/exhaustive")
 	out.ExhaustiveNsPerOp, _, _ = timeIt(opts, run(engine.WithExhaustiveSearch()))
+	esp.End()
 	if out.NsPerOp > 0 {
 		out.SpeedupVsExhaustive = round1(float64(out.ExhaustiveNsPerOp) / float64(out.NsPerOp))
 	}

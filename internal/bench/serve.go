@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -118,7 +119,7 @@ func RunServe(ctx context.Context, opts Options) (*ServeReport, error) {
 		Engine:        engine.New(engine.WithCacheSize(0)),
 		PlanCacheSize: -1,
 	})
-	r, err := sampleEndpoint("compile-cold", cold, "/v1/compile", serveCompileBody, n(coldRequests, coldRequestsOnce), opts)
+	r, err := sampleEndpoint(ctx, "compile-cold", cold, "/v1/compile", serveCompileBody, n(coldRequests, coldRequestsOnce), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +134,7 @@ func RunServe(ctx context.Context, opts Options) (*ServeReport, error) {
 	if err := prime(warm, "/v1/compile", serveCompileBody); err != nil {
 		return nil, err
 	}
-	r, err = sampleEndpoint("compile-warm", warm, "/v1/compile", serveCompileBody, n(warmRequests, warmRequestsOnce), opts)
+	r, err = sampleEndpoint(ctx, "compile-warm", warm, "/v1/compile", serveCompileBody, n(warmRequests, warmRequestsOnce), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +148,7 @@ func RunServe(ctx context.Context, opts Options) (*ServeReport, error) {
 	if err := prime(warm, "/v1/sweep", serveSweepBody); err != nil {
 		return nil, err
 	}
-	r, err = sampleEndpoint("sweep-stream", warm, "/v1/sweep", serveSweepBody, n(sweepRequests, sweepRequestsOnce), opts)
+	r, err = sampleEndpoint(ctx, "sweep-stream", warm, "/v1/sweep", serveSweepBody, n(sweepRequests, sweepRequestsOnce), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +157,9 @@ func RunServe(ctx context.Context, opts Options) (*ServeReport, error) {
 
 	// The plan-path-only allocation figure, over the exported fast-path unit.
 	req := compile.NewRequest(model.VGG13(), core.Array{Rows: 512, Cols: 512}, compile.Options{})
+	_, sp := obs.Start(ctx, "warm-plan-path")
 	rep.WarmPlanPathAllocs, err = planPathAllocs(warm, req)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -175,8 +178,13 @@ func prime(h http.Handler, path string, body []byte) error {
 
 // sampleEndpoint issues n requests against h, timing each ServeHTTP call
 // individually for the percentiles and wrapping the whole loop in one
-// memstats delta for the per-request allocation figures.
-func sampleEndpoint(name string, h http.Handler, path string, body []byte, n int, opts Options) (ServeEndpointResult, error) {
+// memstats delta for the per-request allocation figures. Each endpoint's
+// request loop is one span on a -trace, so a serve run's trace shows the
+// three endpoints side by side.
+func sampleEndpoint(ctx context.Context, name string, h http.Handler, path string, body []byte, n int, opts Options) (ServeEndpointResult, error) {
+	_, sp := obs.Start(ctx, name)
+	defer sp.End()
+	sp.SetInt("requests", int64(n))
 	durs := make([]time.Duration, n)
 	rw := &discardResponseWriter{header: make(http.Header, 4)}
 	runtime.GC()

@@ -3,6 +3,7 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ProfileFlags holds the shared -cpuprofile/-memprofile flag values of the
@@ -77,6 +79,63 @@ func (p *ProfileFlags) stop() error {
 	return nil
 }
 
+// TraceFlags holds the shared -trace flag of the cmd/ tools: a Chrome
+// trace-event JSON output path. Register the flag, derive the run's context
+// through Context (a no-op returning ctx unchanged when -trace was not
+// given), run the work, then Write the recorded trace:
+//
+//	ctx := tf.Context(context.Background(), "vwsdk")
+//	... run ...
+//	if err := tf.Write(); err != nil { return err }
+//
+// The produced file opens directly in chrome://tracing and Perfetto's legacy
+// importer.
+type TraceFlags struct {
+	Out string
+
+	tr *obs.Trace
+}
+
+// Register declares the -trace flag on fs.
+func (t *TraceFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.Out, "trace", "", "write a Chrome trace-event JSON trace to `file`")
+}
+
+// Context attaches a fresh trace named name to ctx when -trace was given;
+// otherwise it returns ctx unchanged and the whole span path stays on the
+// disabled no-op fast path.
+func (t *TraceFlags) Context(ctx context.Context, name string) context.Context {
+	if t.Out == "" {
+		return ctx
+	}
+	t.tr = obs.New(name)
+	return obs.NewContext(ctx, t.tr)
+}
+
+// Trace returns the active trace, or nil when -trace was not given (or
+// Context has not run yet).
+func (t *TraceFlags) Trace() *obs.Trace { return t.tr }
+
+// Write writes the recorded trace to the -trace file; call it after the
+// traced work has finished. It is a no-op when tracing is disabled.
+func (t *TraceFlags) Write() error {
+	if t.tr == nil {
+		return nil
+	}
+	f, err := os.Create(t.Out)
+	if err != nil {
+		return fmt.Errorf("cliutil: -trace: %w", err)
+	}
+	if err := t.tr.WriteChrome(f); err != nil {
+		f.Close()
+		return fmt.Errorf("cliutil: -trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cliutil: -trace: %w", err)
+	}
+	return nil
+}
+
 // Version returns the version string the cmd/ tools print for -version: the
 // module version when the binary was built from a tagged module, otherwise
 // the VCS revision ("devel+<rev>[+dirty]") when the build embedded one, and
@@ -107,6 +166,35 @@ func Version() string {
 		rev = rev[:12]
 	}
 	return "devel+" + rev + dirty
+}
+
+// Revision returns the bare VCS revision the build embedded ("+dirty" when
+// the working tree was modified), or "unknown" when the build carried none
+// (e.g. under go test). Fleet dashboards use it to detect version skew
+// across vwsdkd instances, independent of the tagged module version.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
 }
 
 // ParseSize parses "WxH" (e.g. "512x256") or a single integer "512"

@@ -40,6 +40,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mapping"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Scheme selects the mapping search a compilation runs. The zero value is
@@ -265,20 +266,34 @@ func (c *Compiler) search(ctx context.Context, l core.Layer, a core.Array, opts 
 // compileLayer runs the full per-layer pipeline: search, then schedule,
 // energy and (optionally) the physical plan as soon as the search returns.
 func (c *Compiler) compileLayer(ctx context.Context, cl model.ConvLayer, a core.Array, opts Options) (LayerPlan, error) {
+	ctx, lsp := obs.Start(ctx, "layer")
+	defer lsp.End()
+	lsp.SetStr("name", cl.Name)
 	lp := LayerPlan{Layer: cl}
-	res, err := c.search(ctx, cl.Layer, a, opts)
+	sctx, sp := obs.Start(ctx, "search")
+	res, err := c.search(sctx, cl.Layer, a, opts)
+	sp.End()
 	if err != nil {
 		return LayerPlan{}, err
 	}
 	lp.Search = res
-	if lp.Schedule, err = chip.ScheduleLayer(res.Best, opts.Arrays); err != nil {
+	_, sp = obs.Start(ctx, "schedule")
+	lp.Schedule, err = chip.ScheduleLayer(res.Best, opts.Arrays)
+	sp.End()
+	if err != nil {
 		return LayerPlan{}, err
 	}
-	if lp.Energy, err = opts.Energy.Estimate(res.Best); err != nil {
+	_, sp = obs.Start(ctx, "energy")
+	lp.Energy, err = opts.Energy.Estimate(res.Best)
+	sp.End()
+	if err != nil {
 		return LayerPlan{}, err
 	}
 	if opts.Plans {
-		if lp.Plan, err = mapping.NewPlan(res.Best); err != nil {
+		pctx, sp := obs.Start(ctx, "plan")
+		lp.Plan, err = mapping.NewPlanContext(pctx, res.Best)
+		sp.End()
+		if err != nil {
 			return LayerPlan{}, err
 		}
 	}
@@ -306,6 +321,9 @@ func (c *Compiler) Compile(ctx context.Context, req Request) (*NetworkPlan, erro
 	if err := req.Options.Energy.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.Start(ctx, "compile")
+	defer sp.End()
+	sp.SetStr("network", n.Name).SetInt("layers", int64(len(n.Layers)))
 	p := &NetworkPlan{Request: req, Layers: make([]LayerPlan, len(n.Layers))}
 	errs := make([]error, len(n.Layers))
 	var wg sync.WaitGroup

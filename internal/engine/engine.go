@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Engine schedules mapping searches over a worker pool and memoizes their
@@ -61,6 +62,7 @@ type Engine struct {
 	dedupes  atomic.Uint64
 	costed   atomic.Uint64
 	pruned   atomic.Uint64
+	running  atomic.Int64 // searches currently holding a worker-pool slot
 }
 
 // call is one in-flight search; waiters block on done and read res/err.
@@ -160,6 +162,10 @@ type Stats struct {
 	// on a WithExhaustiveSearch engine and for the SDK/SMD baselines, which
 	// have no pruned/exhaustive split.
 	CandidatesPruned uint64
+
+	// InFlightSearches is the number of searches currently holding a
+	// worker-pool slot — a gauge, not cumulative.
+	InFlightSearches int64
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -173,6 +179,7 @@ func (e *Engine) Stats() Stats {
 		CachedResults:    e.cache.len(),
 		CandidatesCosted: e.costed.Load(),
 		CandidatesPruned: e.pruned.Load(),
+		InFlightSearches: e.running.Load(),
 	}
 }
 
@@ -244,15 +251,20 @@ func (e *Engine) SearchNetworkVariant(ctx context.Context, layers []core.Layer, 
 // A waiter abandons an in-flight join when its own context is cancelled, and
 // a cancelled computation is reported to the leader without being cached.
 func (e *Engine) memoized(ctx context.Context, k cacheKey, name string, compute func(context.Context) (core.Result, error)) (core.Result, error) {
+	ctx, sp := obs.Start(ctx, "engine.search")
+	defer sp.End()
+	sp.SetStr("layer", name)
 	e.searches.Add(1)
 	if res, ok := e.cache.get(k); ok {
 		e.hits.Add(1)
+		sp.SetStr("outcome", "hit")
 		return renamed(res, name), nil
 	}
 	e.mu.Lock()
 	if c, ok := e.flight[k]; ok {
 		e.mu.Unlock()
 		e.dedupes.Add(1)
+		sp.SetStr("outcome", "coalesced")
 		select {
 		case <-c.done:
 		case <-ctx.Done():
@@ -267,8 +279,11 @@ func (e *Engine) memoized(ctx context.Context, k cacheKey, name string, compute 
 			// its own inputs. The duplicated work is negligible — search
 			// errors fail fast in input validation.
 			e.misses.Add(1)
-			_, err := compute(ctx)
-			return core.Result{}, err
+			res, err := compute(ctx)
+			if err == nil {
+				sp.SetStr("path", e.searchPath(k)).SetInt("candidates", int64(res.Evaluated))
+			}
+			return res, err
 		}
 		e.hits.Add(1)
 		return renamed(c.res, name), nil
@@ -279,6 +294,7 @@ func (e *Engine) memoized(ctx context.Context, k cacheKey, name string, compute 
 	if res, ok := e.cache.get(k); ok {
 		e.mu.Unlock()
 		e.hits.Add(1)
+		sp.SetStr("outcome", "hit")
 		return renamed(res, name), nil
 	}
 	c := &call{done: make(chan struct{})}
@@ -286,9 +302,11 @@ func (e *Engine) memoized(ctx context.Context, k cacheKey, name string, compute 
 	e.mu.Unlock()
 
 	e.misses.Add(1)
+	sp.SetStr("outcome", "miss")
 	res, err := compute(ctx)
 	if err == nil {
 		e.countCandidates(k, res)
+		sp.SetStr("path", e.searchPath(k)).SetInt("candidates", int64(res.Evaluated))
 		c.res = anonymized(res)
 		e.cache.put(k, c.res)
 	}
@@ -298,6 +316,30 @@ func (e *Engine) memoized(ctx context.Context, k cacheKey, name string, compute 
 	e.mu.Unlock()
 	close(c.done)
 	return res, err
+}
+
+// searchPath names the search implementation a computed result came from, for
+// span attribution: closed-form/pruned for the VW-SDK family (the same split
+// core.SearchStats reports), exhaustive on a WithExhaustiveSearch engine,
+// baseline for SDK/SMD.
+func (e *Engine) searchPath(k cacheKey) string {
+	if e.exhaustive {
+		return "exhaustive"
+	}
+	switch k.kind {
+	case kindVWSDK:
+		if core.ClosedFormEligible(k.layer) {
+			return core.PathClosedForm
+		}
+		return core.PathPruned
+	case kindVariant:
+		// Ablated variants always run their own pruned enumerators; the
+		// closed form is proven only for the full search (VariantFull keys
+		// are kindVWSDK).
+		return core.PathPruned
+	default:
+		return "baseline"
+	}
 }
 
 // countCandidates maintains the CandidatesCosted/CandidatesPruned counters
@@ -331,7 +373,11 @@ func (e *Engine) withSlot(ctx context.Context, f func() (core.Result, error)) (c
 	case <-ctx.Done():
 		return core.Result{}, ctx.Err()
 	}
-	defer func() { <-e.sem }()
+	e.running.Add(1)
+	defer func() {
+		e.running.Add(-1)
+		<-e.sem
+	}()
 	return f()
 }
 

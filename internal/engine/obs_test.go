@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestSearchSpans pins the engine's per-search span contract: every memoized
+// search records one "engine.search" span whose outcome attribute
+// distinguishes cache hits from computed misses, with the chosen search path
+// and candidate count attached to the compute.
+func TestSearchSpans(t *testing.T) {
+	e := New(WithWorkers(1))
+	l := core.Layer{Name: "probe", IW: 14, IH: 14, KW: 3, KH: 3, IC: 16, OC: 16}.Normalized()
+	a := core.Array{Rows: 128, Cols: 128}
+
+	tr := obs.New("test")
+	ctx := obs.NewContext(context.Background(), tr)
+	if _, err := e.SearchVWSDK(ctx, l, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.SearchVWSDK(ctx, l, a); err != nil {
+		t.Fatal(err)
+	}
+
+	nodes := tr.Tree()
+	var spans []*obs.Node
+	for _, n := range nodes {
+		if n.Name == "engine.search" {
+			spans = append(spans, n)
+		}
+	}
+	if len(spans) != 2 {
+		t.Fatalf("recorded %d engine.search spans, want 2: %+v", len(spans), nodes)
+	}
+	miss, hit := spans[0], spans[1]
+	if miss.Attrs["outcome"] != "miss" || miss.Attrs["layer"] != "probe" {
+		t.Errorf("first search attrs = %v, want outcome=miss", miss.Attrs)
+	}
+	// Dense unit-stride layers route to the closed-form argmin.
+	if miss.Attrs["path"] != core.PathClosedForm {
+		t.Errorf("path = %v, want %q", miss.Attrs["path"], core.PathClosedForm)
+	}
+	if n, ok := miss.Attrs["candidates"].(int64); !ok || n <= 0 {
+		t.Errorf("candidates = %v, want > 0", miss.Attrs["candidates"])
+	}
+	if hit.Attrs["outcome"] != "hit" {
+		t.Errorf("second search attrs = %v, want outcome=hit", hit.Attrs)
+	}
+}
+
+// TestSearchSpansExhaustive checks the exhaustive engine reports its path.
+func TestSearchSpansExhaustive(t *testing.T) {
+	e := New(WithWorkers(1), WithExhaustiveSearch())
+	l := core.Layer{Name: "probe", IW: 9, IH: 9, KW: 3, KH: 3, IC: 4, OC: 4}.Normalized()
+
+	tr := obs.New("test")
+	ctx := obs.NewContext(context.Background(), tr)
+	if _, err := e.SearchVWSDK(ctx, l, core.Array{Rows: 64, Cols: 64}); err != nil {
+		t.Fatal(err)
+	}
+	sp := obs.Find(tr.Tree(), "engine.search")
+	if sp == nil {
+		t.Fatal("no engine.search span")
+	}
+	if sp.Attrs["path"] != "exhaustive" {
+		t.Errorf("path = %v, want exhaustive", sp.Attrs["path"])
+	}
+}

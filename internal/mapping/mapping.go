@@ -26,9 +26,11 @@
 package mapping
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Position is one parallel-window placement: a single computing cycle's
@@ -80,6 +82,20 @@ type Plan struct {
 
 	// Positions are the per-tile computing cycles.
 	Positions []Position
+}
+
+// NewPlanContext is NewPlan bracketed in an obs span ("mapping.plan", with
+// the tile count attached) when ctx carries a trace; the compile pipeline's
+// planning stage calls this form so physical planning shows up in compile
+// provenance. The plan itself is identical to NewPlan's.
+func NewPlanContext(ctx context.Context, m core.Mapping) (*Plan, error) {
+	_, sp := obs.Start(ctx, "mapping.plan")
+	defer sp.End()
+	p, err := NewPlan(m)
+	if err == nil {
+		sp.SetInt("tiles", int64(len(p.Tiles)))
+	}
+	return p, err
 }
 
 // NewPlan builds the execution plan for a costed mapping. The mapping must

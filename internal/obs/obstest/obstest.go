@@ -1,0 +1,106 @@
+// Package obstest holds test helpers for validating obs output; it lives
+// outside the _test.go files so the server's scrape tests can share the
+// exposition checker.
+package obstest
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// CheckExposition validates text-exposition invariants on a scrape body:
+// every sample belongs to a declared # TYPE family, values parse as floats,
+// and histogram bucket counts are monotone with the le="+Inf" bucket equal to
+// the series' _count.
+func CheckExposition(t testing.TB, body string) {
+	t.Helper()
+	types := map[string]string{}
+	lastBucket := map[string]float64{} // family+labels (minus le) -> last cumulative count
+	infCount := map[string]float64{}
+	countVal := map[string]float64{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && types[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Fatalf("sample %q has no # TYPE declaration", line)
+		}
+		if strings.HasSuffix(name, "_bucket") && types[base] == "histogram" {
+			key, le := splitLE(t, series)
+			if val < lastBucket[key] {
+				t.Fatalf("non-monotone buckets at %q: %v < %v", line, val, lastBucket[key])
+			}
+			lastBucket[key] = val
+			if le == "+Inf" {
+				infCount[key] = val
+			}
+		}
+		if strings.HasSuffix(name, "_count") && types[base] == "histogram" {
+			countVal[series] = val
+		}
+	}
+	for key, inf := range infCount {
+		if cnt, ok := countVal[key]; ok && cnt != inf {
+			t.Fatalf("histogram %q: le=+Inf bucket %v != _count %v", key, inf, cnt)
+		}
+	}
+}
+
+// splitLE strips the le label out of a _bucket series, returning the matching
+// _count series name (family_count plus the remaining labels) and the le
+// value — buckets and their _count line share a key that way.
+func splitLE(t testing.TB, series string) (key, le string) {
+	t.Helper()
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		t.Fatalf("bucket series without labels: %q", series)
+	}
+	name := strings.TrimSuffix(series[:i], "_bucket") + "_count"
+	inner := strings.TrimSuffix(series[i+1:], "}")
+	var rest []string
+	for _, pair := range strings.Split(inner, ",") {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		rest = append(rest, pair)
+	}
+	if le == "" {
+		t.Fatalf("bucket series without le: %q", series)
+	}
+	if len(rest) == 0 {
+		return name, le
+	}
+	return name + "{" + strings.Join(rest, ",") + "}", le
+}

@@ -7,15 +7,31 @@ import (
 	"sync/atomic"
 
 	"repro/internal/compile"
+	"repro/internal/obs"
 )
 
-// planEntry is one cached compilation: the plan (for sweep summaries) and
-// its canonical serialized bytes (what /v1/compile writes). Entries are
-// shared between requests and must be treated as immutable.
+// planEntry is one cached compilation: the plan (for sweep summaries), its
+// canonical serialized bytes (what /v1/compile writes) and its compile
+// provenance — the span tree and phase durations recorded when the plan was
+// actually compiled. Entries are shared between requests and must be treated
+// as immutable; a cache hit serves the original compilation's provenance,
+// which is exactly the point — "where did this plan come from" has one
+// answer no matter which request asks.
 type planEntry struct {
-	key  string
-	plan *compile.NetworkPlan
-	data []byte
+	key    string
+	plan   *compile.NetworkPlan
+	data   []byte
+	trace  []*obs.Node
+	phases []obs.Phase
+}
+
+// compiled is one compute result handed back to planCache.do: the plan, its
+// serialized bytes, and the provenance recorded while compiling.
+type compiled struct {
+	plan   *compile.NetworkPlan
+	data   []byte
+	trace  []*obs.Node
+	phases []obs.Phase
 }
 
 // planFlight is one in-flight compilation; joiners block on done and read
@@ -66,7 +82,7 @@ func newPlanCache(capacity int) *planCache {
 // own outcome, mirroring engine.memoized. Reachable compile errors are
 // caller-specific or caught before the cache, so the duplicated work is
 // negligible.
-func (c *planCache) do(ctx context.Context, key string, compute func() (*compile.NetworkPlan, []byte, error)) (*planEntry, bool, error) {
+func (c *planCache) do(ctx context.Context, key string, compute func() (compiled, error)) (*planEntry, bool, error) {
 	c.mu.Lock()
 	if e := c.lockedGet(key); e != nil {
 		c.mu.Unlock()
@@ -86,11 +102,11 @@ func (c *planCache) do(ctx context.Context, key string, compute func() (*compile
 			return f.entry, true, nil
 		}
 		c.misses.Add(1)
-		plan, data, err := compute()
+		res, err := compute()
 		if err != nil {
 			return nil, false, err
 		}
-		e := &planEntry{key: key, plan: plan, data: data}
+		e := newPlanEntry(key, res)
 		c.mu.Lock()
 		c.lockedPut(e)
 		c.mu.Unlock()
@@ -101,9 +117,9 @@ func (c *planCache) do(ctx context.Context, key string, compute func() (*compile
 	c.mu.Unlock()
 
 	c.misses.Add(1)
-	plan, data, err := compute()
+	res, err := compute()
 	if err == nil {
-		f.entry = &planEntry{key: key, plan: plan, data: data}
+		f.entry = newPlanEntry(key, res)
 	}
 	f.err = err
 	c.mu.Lock()
@@ -117,6 +133,11 @@ func (c *planCache) do(ctx context.Context, key string, compute func() (*compile
 		return nil, false, err
 	}
 	return f.entry, false, nil
+}
+
+// newPlanEntry freezes one compute result into a shareable cache entry.
+func newPlanEntry(key string, res compiled) *planEntry {
+	return &planEntry{key: key, plan: res.plan, data: res.data, trace: res.trace, phases: res.phases}
 }
 
 // hit returns the cached entry for a key still held as bytes, or nil on a

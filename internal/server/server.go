@@ -31,9 +31,11 @@
 //	GET    /v1/jobs       job listing (without payloads)
 //	GET    /v1/jobs/{id}  job snapshot with progress and results
 //	DELETE /v1/jobs/{id}  cancel the job
+//	POST   /v1/compile?trace=1  debug form: plan plus request span tree and compile provenance
 //	GET    /v1/networks   the predefined model zoo
-//	GET    /healthz       liveness
-//	GET    /stats         engine, plan-cache, job and server counters
+//	GET    /healthz       liveness, version/revision, uptime, goroutines
+//	GET    /stats         process, engine, plan-cache, job and server counters
+//	GET    /metrics       Prometheus text exposition (see DESIGN.md §9 for the metric contract)
 //
 // A *Server is an http.Handler; serve it with http.Server (cmd/vwsdkd adds
 // flags, access logging to stderr and graceful shutdown on SIGTERM).
@@ -60,6 +62,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Config configures a Server. The zero value is usable: a fresh engine,
@@ -139,6 +142,11 @@ type Server struct {
 	inFlight atomic.Int64
 	rejected atomic.Uint64
 	hist     latencyHist
+
+	started   time.Time
+	metrics   *obs.Registry
+	httpHist  *obs.Histogram            // request-duration histogram for /metrics
+	phaseHist map[string]*obs.Histogram // per-phase compile-time histograms, keyed by span name
 }
 
 // New returns a Server with the given configuration.
@@ -182,7 +190,9 @@ func New(cfg Config) *Server {
 		sweepSem: make(chan struct{}, cfg.MaxConcurrent),
 		maxQueue: cfg.MaxQueue,
 		mux:      http.NewServeMux(),
+		started:  time.Now(),
 	}
+	s.initMetrics()
 	// Every path is registered for all methods and dispatched through
 	// methods{}, so method mismatches get the structured 405 below instead
 	// of the mux's plain-text default; the "/" fallback turns unknown paths
@@ -194,6 +204,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("/v1/networks", methods{http.MethodGet: s.handleNetworks})
 	s.mux.Handle("/healthz", methods{http.MethodGet: s.handleHealthz})
 	s.mux.Handle("/stats", methods{http.MethodGet: s.handleStats})
+	s.mux.Handle("/metrics", methods{http.MethodGet: s.handleMetrics})
 	s.mux.HandleFunc("/", s.handleNotFound)
 	return s
 }
@@ -236,19 +247,26 @@ func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, errorf(http.StatusNotFound, "no such endpoint %s", r.URL.Path))
 }
 
-// ServeHTTP dispatches to the API endpoints, wrapped in request counting,
-// latency measurement and access logging.
+// ServeHTTP dispatches to the API endpoints, wrapped in request-id
+// assignment, request counting, latency measurement and access logging.
+// Every response carries X-Request-Id (the client's, when safe to echo,
+// otherwise generated); the same id prefixes the access-log line and is
+// embedded in structured error bodies, so a log line, a trace and an error
+// report can all be joined on it.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.requests.Add(1)
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
+	rid := requestID(r)
+	w.Header().Set("X-Request-Id", rid)
 	rw := &responseWriter{ResponseWriter: w}
 	s.mux.ServeHTTP(rw, r)
 	d := time.Since(start)
 	s.hist.observe(d)
+	s.httpHist.Observe(d.Seconds())
 	if s.logger != nil {
-		s.logger.Printf("%s %s %d %dB %s", r.Method, r.URL.Path, rw.code(), rw.bytes, d.Round(time.Microsecond))
+		s.logger.Printf("%s %s %s %d %dB %s", rid, r.Method, r.URL.Path, rw.code(), rw.bytes, d.Round(time.Microsecond))
 	}
 }
 
@@ -349,29 +367,46 @@ func (s *Server) release() { <-s.sem }
 // abort when ctx ends. block selects the sweep-cell/job admission policy
 // (wait indefinitely) over the compile-endpoint one (bounded queue, 503).
 // The returned entry is shared and must not be mutated.
+//
+// Every compilation that actually runs records its own provenance trace —
+// queue-wait, the compile pipeline's span tree, and plan serialization —
+// regardless of whether the requesting client asked for one: the tree and
+// phase durations are frozen onto the cache entry (so a later ?trace=1 hit
+// still answers where the plan came from) and feed the per-phase
+// vwsdk_compile_phase_seconds histograms. The provenance trace deliberately
+// replaces any request trace on ctx; the request's own tree references the
+// compile through its "handler" phase.
 func (s *Server) compilePlan(ctx context.Context, key string, req compile.Request, block bool) (*planEntry, bool, error) {
-	return s.plans.do(ctx, key, func() (*compile.NetworkPlan, []byte, error) {
+	return s.plans.do(ctx, key, func() (compiled, error) {
+		prov := obs.New(req.Network.Name)
+		pctx := obs.NewContext(ctx, prov)
+		_, qsp := obs.Start(pctx, "queue-wait")
 		var err error
 		if block {
 			err = s.acquireBlocking(ctx)
 		} else {
 			err = s.acquire(ctx)
 		}
+		qsp.End()
 		if err != nil {
-			return nil, nil, err
+			return compiled{}, err
 		}
 		defer s.release()
-		p, err := s.comp.Compile(ctx, req)
+		p, err := s.comp.Compile(pctx, req)
 		if err != nil {
-			return nil, nil, err
+			return compiled{}, err
 		}
 		// Serialize compactly once; every request served from this entry —
 		// including warm hits, which are allocation-free — writes these bytes.
 		var buf bytes.Buffer
-		if err := p.Encode(&buf); err != nil {
-			return nil, nil, err
+		_, esp := obs.Start(pctx, "encode")
+		err = p.Encode(&buf)
+		esp.End()
+		if err != nil {
+			return compiled{}, err
 		}
-		return p, buf.Bytes(), nil
+		s.observeCompile(prov)
+		return compiled{plan: p, data: buf.Bytes(), trace: prov.Tree(), phases: prov.Phases()}, nil
 	})
 }
 
@@ -431,6 +466,14 @@ func (s *Server) CachedPlan(w io.Writer, req compile.Request) (bool, error) {
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	// ?trace=1 selects the debug form that attaches the span tree to the
+	// response. The RawQuery guard keeps the common no-query request off
+	// url.Values parsing entirely.
+	if r.URL.RawQuery != "" && r.URL.Query().Get("trace") == "1" {
+		s.handleCompileTraced(w, r)
+		return
+	}
+	start := time.Now()
 	var body compileRequest
 	if herr := decodeJSONBody(w, r, s.maxBody, &body); herr != nil {
 		writeError(w, herr)
@@ -466,6 +509,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setPlanHeaders(w.Header(), cached)
+	// Server-Timing carries the compile provenance phases (queue-wait,
+	// compile, encode) plus this request's own total. A coalesced join
+	// reports the leader's phases, which may exceed the joiner's total —
+	// the phases describe the compilation, the total this request. The
+	// allocation-free warm-hit path above intentionally skips the header.
+	w.Header().Set("Server-Timing", obs.ServerTiming(entry.phases, time.Since(start)))
 	w.Write(entry.data)
 }
 
@@ -485,9 +534,13 @@ func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{
-		"status":  "ok",
-		"version": cliutil.Version(),
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"version":        cliutil.Version(),
+		"revision":       cliutil.Revision(),
+		"go_version":     runtime.Version(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"goroutines":     runtime.NumGoroutine(),
 	})
 }
 
@@ -495,12 +548,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// Stats is the /stats payload: server, plan-cache, job and engine counters.
+// Stats is the /stats payload: process, server, plan-cache, job and engine
+// counters.
 type Stats struct {
+	Process   ProcessStats   `json:"process"`
 	Server    ServerStats    `json:"server"`
 	PlanCache PlanCacheStats `json:"plan_cache"`
 	Jobs      JobStats       `json:"jobs"`
 	Engine    EngineStats    `json:"engine"`
+}
+
+// ProcessStats identify and size the serving process, so fleet dashboards
+// can detect version skew and runaway goroutine counts.
+type ProcessStats struct {
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision"`
+	GoVersion     string  `json:"go_version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Goroutines    int     `json:"goroutines"`
 }
 
 // ServerStats are the HTTP-level counters.
@@ -531,12 +596,23 @@ type EngineStats struct {
 	// skipped.
 	CandidatesCosted uint64 `json:"candidates_costed"`
 	CandidatesPruned uint64 `json:"candidates_pruned"`
+
+	// InFlightSearches is the current number of searches holding a
+	// worker-pool slot.
+	InFlightSearches int64 `json:"in_flight_searches"`
 }
 
 // Stats returns a snapshot of every counter the service exposes.
 func (s *Server) Stats() Stats {
 	es := s.eng.Stats()
 	return Stats{
+		Process: ProcessStats{
+			Version:       cliutil.Version(),
+			Revision:      cliutil.Revision(),
+			GoVersion:     runtime.Version(),
+			UptimeSeconds: time.Since(s.started).Seconds(),
+			Goroutines:    runtime.NumGoroutine(),
+		},
 		Server: ServerStats{
 			Requests:  s.requests.Load(),
 			InFlight:  s.inFlight.Load(),
@@ -555,6 +631,7 @@ func (s *Server) Stats() Stats {
 			CachedResults:    es.CachedResults,
 			CandidatesCosted: es.CandidatesCosted,
 			CandidatesPruned: es.CandidatesPruned,
+			InFlightSearches: es.InFlightSearches,
 		},
 	}
 }
@@ -646,7 +723,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, herr *httpError) {
-	writeJSON(w, herr.status, map[string]any{
-		"error": map[string]any{"status": herr.status, "message": herr.msg},
-	})
+	e := map[string]any{"status": herr.status, "message": herr.msg}
+	// ServeHTTP stamped the response's X-Request-Id before dispatch; echoing
+	// it in the body lets an error report be joined to the access log.
+	if id := w.Header().Get("X-Request-Id"); id != "" {
+		e["request_id"] = id
+	}
+	writeJSON(w, herr.status, map[string]any{"error": e})
 }
