@@ -13,6 +13,15 @@
 // gate is -check-against, which compares a fresh run to the committed
 // snapshot.
 //
+// With -fleet it benchmarks the fleet tier: a zipfian compile mix driven
+// round-robin over an in-process 3-node consistent-hash fleet (persistent
+// stores, peer proxying, no sockets) versus the same mix over a single node
+// with the same plan-cache capacity, and writes BENCH_fleet.json (fleet vs
+// baseline hit rate, fleet-wide compile count, proxied/compute/hit latency
+// classes). -check-against gates hit-rate, compile-count and proxied-latency
+// regressions; the workload is deterministic, so the cache figures reproduce
+// across machines.
+//
 // Examples:
 //
 //	vwsdkbench                            # 10ms per timed loop, writes BENCH_search.json
@@ -21,6 +30,8 @@
 //	vwsdkbench -check-reduction 10        # exit 1 unless some Table-I layer prunes ≥10x
 //	vwsdkbench -serve                     # serve benchmark, writes BENCH_serve.json
 //	vwsdkbench -serve -benchtime 1x -check-against BENCH_serve.json
+//	vwsdkbench -fleet                     # fleet benchmark, writes BENCH_fleet.json
+//	vwsdkbench -fleet -check-against BENCH_fleet.json
 package main
 
 import (
@@ -51,7 +62,8 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 		filter    = fs.String("filter", "", "run only workloads whose name contains this substring")
 		check     = fs.Float64("check-reduction", 0, "exit non-zero unless the best Table-I candidate reduction is at least this factor")
 		serve     = fs.Bool("serve", false, "benchmark the HTTP serve path (cold/warm compile, streaming sweep) instead of the search")
-		against   = fs.String("check-against", "", "with -serve: exit non-zero if serve allocations regress versus this committed BENCH_serve.json")
+		fleet     = fs.Bool("fleet", false, "benchmark an in-process 3-node consistent-hash fleet under a zipfian compile mix instead of the search")
+		against   = fs.String("check-against", "", "with -serve or -fleet: exit non-zero if the run regresses versus this committed snapshot (BENCH_serve.json / BENCH_fleet.json)")
 		quiet     = fs.Bool("quiet", false, "suppress per-workload progress output")
 		timeout   = fs.Duration("timeout", 0, "abort the harness after this long (0 = no deadline)")
 		version   = fs.Bool("version", false, "print the version and exit")
@@ -106,17 +118,27 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 			retErr = terr
 		}
 	}()
-	if *serve {
+	if *serve || *fleet {
+		if *serve && *fleet {
+			return fmt.Errorf("-serve and -fleet are mutually exclusive")
+		}
+		mode := "-serve"
+		if *fleet {
+			mode = "-fleet"
+		}
 		if *check > 0 {
-			return fmt.Errorf("-check-reduction applies to the search benchmark, not -serve")
+			return fmt.Errorf("-check-reduction applies to the search benchmark, not %s", mode)
 		}
 		if *filter != "" {
-			return fmt.Errorf("-filter applies to the search benchmark, not -serve")
+			return fmt.Errorf("-filter applies to the search benchmark, not %s", mode)
+		}
+		if *fleet {
+			return runFleet(ctx, opts, *outPath, *against, out, progress)
 		}
 		return runServe(ctx, opts, *outPath, *against, out, progress)
 	}
 	if *against != "" {
-		return fmt.Errorf("-check-against requires -serve")
+		return fmt.Errorf("-check-against requires -serve or -fleet")
 	}
 	if *outPath == "" {
 		*outPath = "BENCH_search.json"
@@ -210,6 +232,80 @@ func checkServe(rep *bench.ServeReport, path string) error {
 	if got.AllocsPerRequest > limit {
 		return fmt.Errorf("warm /v1/compile allocations regressed: %d/request > limit %d (committed %d)",
 			got.AllocsPerRequest, limit, want.AllocsPerRequest)
+	}
+	return nil
+}
+
+// runFleet executes the fleet benchmark, writes the report, and applies the
+// -check-against regression gate.
+func runFleet(ctx context.Context, opts bench.Options, outPath, against string, out, progress io.Writer) error {
+	rep, err := bench.RunFleet(ctx, opts)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		outPath = "BENCH_fleet.json"
+	}
+	if outPath == "-" {
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s: fleet hit rate %.3f vs baseline %.3f, %d fleet compiles (%d baseline)\n",
+			outPath, rep.FleetHitRate, rep.BaselineHitRate, rep.FleetCompiles, rep.BaselineCompiles)
+	}
+	if against != "" {
+		return checkFleet(rep, against)
+	}
+	return nil
+}
+
+// checkFleet fails when the fresh fleet run regresses versus the committed
+// snapshot. The workload is fully deterministic (seeded zipf, round-robin
+// placement, flushed write-behinds), so the cache-behavior figures — hit
+// rates and fleet-wide compile count — must reproduce almost exactly on any
+// machine; latency is machine-dependent, so proxied latency only gets a
+// generous order-of-magnitude bound that still catches protocol regressions
+// (extra hops, redundant validation, lost coalescing).
+func checkFleet(rep *bench.FleetReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-check-against: %w", err)
+	}
+	var base bench.FleetReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-check-against: parse %s: %w", path, err)
+	}
+	if base.Schema != bench.FleetSchema {
+		return fmt.Errorf("-check-against: %s has schema %q, want %q", path, base.Schema, bench.FleetSchema)
+	}
+	if rep.FleetHitRate <= rep.BaselineHitRate {
+		return fmt.Errorf("fleet hit rate %.3f not above single-node baseline %.3f",
+			rep.FleetHitRate, rep.BaselineHitRate)
+	}
+	if rep.FleetHitRate < base.FleetHitRate-0.02 {
+		return fmt.Errorf("fleet hit rate regressed: %.3f < committed %.3f (tolerance 0.02)",
+			rep.FleetHitRate, base.FleetHitRate)
+	}
+	if base.FleetCompiles > 0 && rep.FleetCompiles > base.FleetCompiles {
+		return fmt.Errorf("fleet-wide compiles regressed: %d > committed %d (a key is being recompiled)",
+			rep.FleetCompiles, base.FleetCompiles)
+	}
+	limit := 10 * base.ProxiedP50Ns
+	if floor := int64(5 * time.Millisecond); limit < floor {
+		limit = floor
+	}
+	if rep.ProxiedP50Ns > limit {
+		return fmt.Errorf("proxied p50 regressed: %dns > limit %dns (committed %dns)",
+			rep.ProxiedP50Ns, limit, base.ProxiedP50Ns)
 	}
 	return nil
 }

@@ -4,11 +4,24 @@
 // API). It shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests before exiting.
 //
+// With -store the plan cache persists: every locally computed plan is
+// written behind to a content-addressed on-disk store and a restarted
+// daemon answers previously compiled requests from disk without
+// re-searching. With -peers a static fleet of vwsdkd instances shares the
+// key space by consistent hashing — a miss on a key another node owns is
+// proxied to that node (one hop, falling back to local compute when the
+// owner is down), so the fleet compiles each key once, anywhere. -warm bulk
+// pre-compiles a manifest of requests (resumable via the store) before
+// serving; -warm-only exits after warming, for offline store priming.
+//
 // Examples:
 //
 //	vwsdkd -addr :8080
 //	vwsdkd -addr 127.0.0.1:0 -workers 4 -plan-cache 256 -timeout 30s -quiet
 //	vwsdkd -addr :8080 -pprof 127.0.0.1:6060   # opt-in profiling listener
+//	vwsdkd -addr :8080 -store /var/lib/vwsdk/plans
+//	vwsdkd -addr :8081 -store s1 -peers 127.0.0.1:8081,127.0.0.1:8082
+//	vwsdkd -store plans -warm examples/manifests/zoo.json -warm-only
 //
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/metrics            # Prometheus text exposition
@@ -34,12 +47,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/engine"
+	"repro/internal/peer"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -71,6 +87,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		jobTTL    = fs.Duration("job-ttl", 0, "how long finished jobs stay queryable (0 default 10m, <0 collect immediately)")
 		maxJobs   = fs.Int("max-jobs", 0, "max queued or running jobs (0 default 64)")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof on this extra address (empty = off; never on the API listener)")
+		storeDir  = fs.String("store", "", "persistent plan store directory (empty = no persistence)")
+		peers     = fs.String("peers", "", "comma-separated fleet addresses (host:port) sharing the key space by consistent hashing; must include this node")
+		peerSelf  = fs.String("peer-self", "", "this node's address in -peers (default: inferred from the listen port, loopback forms collapse)")
+		peerTO    = fs.Duration("peer-timeout", 0, "per-hop deadline when proxying to a peer (0 = 10s default)")
+		warmPath  = fs.String("warm", "", "bulk pre-compile this manifest of /v1/compile requests at startup (resumable via -store)")
+		warmOnly  = fs.Bool("warm-only", false, "with -warm: exit after warming instead of serving (offline store priming)")
 		quiet     = fs.Bool("quiet", false, "disable the per-request access log")
 		version   = fs.Bool("version", false, "print the version and exit")
 	)
@@ -81,12 +103,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "vwsdkd %s\n", cliutil.Version())
 		return nil
 	}
+	if *warmOnly && *warmPath == "" {
+		return errors.New("-warm-only requires -warm")
+	}
 
 	var logger *log.Logger
 	if !*quiet {
 		logger = log.New(out, "vwsdkd: ", log.LstdFlags)
 	}
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Engine:         engine.New(engine.WithWorkers(*workers), engine.WithCacheSize(*cacheSize)),
 		PlanCacheSize:  *planCache,
 		MaxConcurrent:  *inflight,
@@ -96,13 +121,77 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		JobTTL:         *jobTTL,
 		MaxJobs:        *maxJobs,
 		Logger:         logger,
-	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
 	}
-	fmt.Fprintf(out, "vwsdkd: listening on %s\n", ln.Addr())
+	var planStore *store.Store
+	if *storeDir != "" {
+		var err error
+		planStore, err = store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = planStore
+		fmt.Fprintf(out, "vwsdkd: plan store at %s (%d entries)\n", planStore.Dir(), planStore.Len())
+	}
+	// Flush pending write-behinds on every exit path, so a drained daemon —
+	// or a finished -warm-only run — leaves a complete store on disk.
+	defer func() {
+		if planStore != nil {
+			planStore.Flush()
+		}
+	}()
+
+	// The fleet tier needs the bound port to find this node in -peers, so
+	// the listener comes up before the ring when serving; -warm-only skips
+	// the listener entirely and identifies itself by -peer-self alone.
+	var ln net.Listener
+	if !*warmOnly {
+		var err error
+		ln, err = net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "vwsdkd: listening on %s\n", ln.Addr())
+	}
+
+	if *peers != "" {
+		self := *peerSelf
+		if self == "" && ln != nil {
+			self = ln.Addr().String()
+		}
+		ring, err := peer.NewRing(self, strings.Split(*peers, ","))
+		if err != nil {
+			return err
+		}
+		if ring.Self() == "" && !*warmOnly {
+			return fmt.Errorf("-peers %q does not include this node (listening on %s); add it or set -peer-self", *peers, ln.Addr())
+		}
+		cfg.Peers = peer.NewClient(ring, nil, *peerTO)
+		fmt.Fprintf(out, "vwsdkd: fleet of %d peers, self %s\n", len(ring.Nodes()), ring.Self())
+	}
+
+	srv := server.New(cfg)
+
+	if *warmPath != "" {
+		data, err := os.ReadFile(*warmPath)
+		if err != nil {
+			return fmt.Errorf("warm: %w", err)
+		}
+		_, reqs, err := server.ParseManifest(data)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		stats, err := srv.Warm(ctx, reqs, 0)
+		fmt.Fprintf(out, "vwsdkd: warm %s: %d keys (%d compiled, %d already warm, %d failed) in %s\n",
+			*warmPath, stats.Total, stats.Compiled, stats.Hits, stats.Failed, time.Since(start).Round(time.Millisecond))
+		if err != nil {
+			return fmt.Errorf("warm: %w", err)
+		}
+		if *warmOnly {
+			return nil
+		}
+	}
 
 	// The profiling endpoint is opt-in and binds its own listener so the
 	// API port never exposes pprof, even behind a forgiving reverse proxy.

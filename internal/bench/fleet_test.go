@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunFleet runs the fleet benchmark and checks the invariants the
+// regression gate and the README's fleet claim rest on: the fleet beats the
+// single-node LRU baseline, each key compiles once fleet-wide, and proxied
+// requests are cheaper than local compilations.
+func TestRunFleet(t *testing.T) {
+	rep, err := RunFleet(context.Background(), Options{Once: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != FleetSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, FleetSchema)
+	}
+	if rep.Nodes != fleetNodes || rep.Keys != fleetKeys || rep.Requests != fleetRequests {
+		t.Errorf("workload shape %+v drifted from constants", rep)
+	}
+	if rep.FleetHitRate <= rep.BaselineHitRate {
+		t.Errorf("fleet hit rate %.3f not above single-node baseline %.3f — the peer tier buys nothing",
+			rep.FleetHitRate, rep.BaselineHitRate)
+	}
+	// The two-tier cache must compile each key the deterministic zipf
+	// sequence touches exactly once anywhere in the fleet, while the
+	// thrashing baseline recompiles evicted keys.
+	touched := make(map[int]bool)
+	for _, k := range fleetSequence() {
+		touched[k] = true
+	}
+	if rep.FleetCompiles != int64(len(touched)) {
+		t.Errorf("fleet compiles = %d, want %d (one per touched key)", rep.FleetCompiles, len(touched))
+	}
+	if rep.BaselineCompiles <= int64(len(touched)) {
+		t.Errorf("baseline compiles = %d, want > %d (LRU of %d must thrash over %d keys)",
+			rep.BaselineCompiles, len(touched), rep.PlanCacheSize, rep.Keys)
+	}
+	if rep.ProxiedRequests == 0 {
+		t.Error("no proxied requests — round-robin over a 3-node ring must proxy")
+	}
+	if rep.HitRequests+rep.ProxiedRequests+rep.ComputeRequests != rep.Requests {
+		t.Errorf("classes %d+%d+%d don't sum to %d requests",
+			rep.HitRequests, rep.ProxiedRequests, rep.ComputeRequests, rep.Requests)
+	}
+	if rep.ProxiedP50Ns <= 0 || rep.ComputeP50Ns <= 0 || rep.HitP50Ns <= 0 {
+		t.Errorf("empty latency classes: %+v", rep)
+	}
+	if rep.ProxiedP99Ns < rep.ProxiedP50Ns || rep.ComputeP99Ns < rep.ComputeP50Ns {
+		t.Errorf("p99 below p50: %+v", rep)
+	}
+	// A warm local hit must be far cheaper than either remote tier — if it
+	// is not, the proxy or store path leaked onto the warm fast path.
+	if rep.HitP50Ns >= rep.ProxiedP50Ns {
+		t.Errorf("warm hit p50 %dns not below proxied p50 %dns", rep.HitP50Ns, rep.ProxiedP50Ns)
+	}
+}
+
+// TestFleetSequenceDeterministic pins that the workload schedule is seeded:
+// the committed BENCH_fleet.json rates are only comparable across runs and
+// machines because every run replays the identical sequence.
+func TestFleetSequenceDeterministic(t *testing.T) {
+	a, b := fleetSequence(), fleetSequence()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	seen := make(map[int]bool)
+	for _, k := range a {
+		if k < 0 || k >= fleetKeys {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	// The zipf tail need not touch literally every key, but a sequence
+	// covering only a handful would make the benchmark trivial.
+	if len(seen) < fleetKeys*3/4 {
+		t.Errorf("sequence touches only %d of %d keys — not a meaningful workload", len(seen), fleetKeys)
+	}
+}

@@ -1,0 +1,116 @@
+package compile
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/model"
+)
+
+// goldenKeyRequests enumerates the request shapes whose keys are pinned in
+// testdata/golden_keys.json. The fixture is the on-disk contract of the
+// persistent plan store and the peer ring: a key-format change silently
+// invalidates every stored plan and reshuffles fleet ownership, so it must
+// be a deliberate, reviewed act (regenerate with `go test -run GoldenKeys
+// -update ./internal/compile/` and bump the vwsdk-key version).
+func goldenKeyRequests() map[string]Request {
+	customEnergy := energy.Model{
+		TCycle:          50 * time.Nanosecond,
+		EnergyDAC:       0.2e-12,
+		EnergyADC:       4e-12,
+		EnergyCellMAC:   0.25e-15,
+		EnergyCellWrite: 12e-12,
+	}
+	return map[string]Request{
+		"vgg13-512-defaults": NewRequest(model.VGG13(), array512, Options{}),
+		"vgg13-512-explicit-defaults": NewRequest(model.VGG13(), array512,
+			Options{Scheme: VWSDK, Variant: core.VariantFull, Arrays: 1}),
+		"vgg13-256-defaults": NewRequest(model.VGG13(), core.Array{Rows: 256, Cols: 256}, Options{}),
+		"vgg13-512-sdk":      NewRequest(model.VGG13(), array512, Options{Scheme: SDK}),
+		"vgg13-512-im2col":   NewRequest(model.VGG13(), array512, Options{Scheme: Im2col}),
+		"vgg13-512-square-tiled": NewRequest(model.VGG13(), array512,
+			Options{Variant: core.VariantSquareTiled}),
+		"vgg13-512-arrays8": NewRequest(model.VGG13(), array512, Options{Arrays: 8}),
+		"vgg13-512-gated":   NewRequest(model.VGG13(), array512, Options{GatePeripherals: true}),
+		"vgg13-512-plans":   NewRequest(model.VGG13(), array512, Options{Plans: true}),
+		"vgg13-512-custom-energy": NewRequest(model.VGG13(), array512,
+			Options{Energy: &customEnergy}),
+		"resnet18-512-defaults":    NewRequest(model.ResNet18(), array512, Options{}),
+		"mobilenetv2-512-defaults": NewRequest(model.MobileNetV2(), array512, Options{}),
+		"single-grouped-256": NewRequest(
+			model.Single(core.Layer{Name: "g", IW: 14, IH: 14, KW: 3, KH: 3, IC: 64, OC: 64, Groups: 4}),
+			core.Array{Rows: 256, Cols: 256}, Options{}),
+		"single-strided-padded-512": NewRequest(
+			model.Single(core.Layer{Name: "s", IW: 224, IH: 224, KW: 7, KH: 7, IC: 3, OC: 64,
+				StrideW: 2, StrideH: 2, PadW: 3, PadH: 3}),
+			array512, Options{}),
+	}
+}
+
+const goldenKeysPath = "testdata/golden_keys.json"
+
+// TestGoldenKeys pins the exact compile.Key strings for a spread of request
+// shapes. Keys are content addresses for the on-disk plan store and the
+// consistent-hash ring: any drift here breaks restart warm-up and fleet
+// ownership for deployed stores, which is why the full strings — not just
+// collision properties — are committed.
+func TestGoldenKeys(t *testing.T) {
+	got := make(map[string]string)
+	for name, req := range goldenKeyRequests() {
+		key, err := Key(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = key
+	}
+
+	if *update {
+		names := make([]string, 0, len(got))
+		for name := range got {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		// Marshal via an ordered slice-free map: encoding/json sorts map keys,
+		// so the fixture diff stays stable across regenerations.
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenKeysPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d keys (%v)", goldenKeysPath, len(names), names)
+		return
+	}
+
+	data, err := os.ReadFile(goldenKeysPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	want := make(map[string]string)
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse %s: %v", goldenKeysPath, err)
+	}
+	for name, key := range got {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: missing from fixture (regenerate with -update)", name)
+			continue
+		}
+		if key != w {
+			t.Errorf("%s: key drifted from the committed fixture —\n  got  %s\n  want %s\n"+
+				"this invalidates every persisted plan store and reshuffles fleet ownership; "+
+				"if intentional, bump the vwsdk-key version and regenerate with -update", name, key, w)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("fixture entry %s no longer generated (regenerate with -update)", name)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package peer
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustRing(t *testing.T, self string, peers []string) *Ring {
+	t.Helper()
+	r, err := NewRing(self, peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+var threeNodes = []string{"10.0.0.1:8080", "10.0.0.2:8080", "10.0.0.3:8080"}
+
+func TestOwnerDeterministicAndOrderInsensitive(t *testing.T) {
+	a := mustRing(t, "10.0.0.1:8080", threeNodes)
+	b := mustRing(t, "10.0.0.2:8080", []string{threeNodes[2], threeNodes[0], threeNodes[1]})
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("vwsdk-key/v2|net-%d|...", i)
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("rings disagree on %q: %s vs %s (ring agreement must be order-insensitive)", key, oa, ob)
+		}
+	}
+}
+
+func TestOwnerDistribution(t *testing.T) {
+	r := mustRing(t, threeNodes[0], threeNodes)
+	counts := make(map[string]int)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("key-%d", i))
+		counts[owner]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+	for addr, c := range counts {
+		// Fair-share is 1000; virtual nodes should keep every node within a
+		// loose factor of it.
+		if c < n/3/3 || c > n {
+			t.Errorf("node %s owns %d of %d keys — ring badly unbalanced", addr, c, n)
+		}
+	}
+}
+
+func TestOwnerSelf(t *testing.T) {
+	r := mustRing(t, threeNodes[1], threeNodes)
+	sawSelf := false
+	for i := 0; i < 100; i++ {
+		owner, self := r.Owner(fmt.Sprintf("key-%d", i))
+		if self != (owner == threeNodes[1]) {
+			t.Fatalf("self flag inconsistent for owner %s", owner)
+		}
+		sawSelf = sawSelf || self
+	}
+	if !sawSelf {
+		t.Error("self owns no keys out of 100 — ring badly unbalanced")
+	}
+}
+
+func TestSelfExclusionOnLoopback(t *testing.T) {
+	cases := []struct {
+		self  string
+		peers []string
+		want  string
+	}{
+		// Exact match.
+		{"10.0.0.1:8080", threeNodes, "10.0.0.1:8080"},
+		// A node listening on the unspecified host finds its loopback form.
+		{":8081", []string{"127.0.0.1:8081", "127.0.0.1:8082"}, "127.0.0.1:8081"},
+		{"[::]:8081", []string{"127.0.0.1:8081", "127.0.0.1:8082"}, "127.0.0.1:8081"},
+		{"0.0.0.0:8081", []string{"localhost:8081", "localhost:8082"}, "localhost:8081"},
+		{"127.0.0.1:9090", []string{"localhost:9090", "localhost:9091"}, "localhost:9090"},
+		// Port differs: not self.
+		{"127.0.0.1:8083", []string{"127.0.0.1:8081", "127.0.0.1:8082"}, ""},
+		// Distinct real hosts never collapse.
+		{"10.0.0.9:8080", threeNodes, ""},
+	}
+	for _, tc := range cases {
+		r := mustRing(t, tc.self, tc.peers)
+		if r.Self() != tc.want {
+			t.Errorf("NewRing(self=%q, peers=%v).Self() = %q, want %q", tc.self, tc.peers, r.Self(), tc.want)
+		}
+	}
+}
+
+func TestNewRingRejects(t *testing.T) {
+	if _, err := NewRing("x:1", nil); err == nil {
+		t.Error("empty peer list accepted")
+	}
+	if _, err := NewRing("x:1", []string{"a:1", "a:1"}); err == nil {
+		t.Error("duplicate peer accepted")
+	}
+}
+
+func TestFetchSetsHopHeaderAndReturnsBody(t *testing.T) {
+	var gotHop string
+	owner := "10.0.0.2:8080"
+	mt := MemTransport{owner: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHop = r.Header.Get(HopHeader)
+		if r.URL.Path != "/v1/compile" {
+			t.Errorf("peer hop path = %q", r.URL.Path)
+		}
+		w.Write([]byte(`{"plan":true}`))
+	})}
+	c := NewClient(mustRing(t, threeNodes[0], threeNodes), mt, 0)
+	data, err := c.Fetch(context.Background(), owner, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"plan":true}` {
+		t.Errorf("body = %q", data)
+	}
+	if gotHop != threeNodes[0] {
+		t.Errorf("hop header = %q, want sender %q", gotHop, threeNodes[0])
+	}
+}
+
+func TestFetchErrors(t *testing.T) {
+	mt := MemTransport{
+		"bad:1": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":{"status":503}}`, http.StatusServiceUnavailable)
+		}),
+	}
+	c := NewClient(mustRing(t, "self:1", []string{"self:1", "bad:1", "gone:1"}), mt, time.Second)
+	if _, err := c.Fetch(context.Background(), "bad:1", nil); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Errorf("non-200 fetch error = %v", err)
+	}
+	// A host the transport cannot reach fails like a down peer.
+	if _, err := c.Fetch(context.Background(), "gone:1", nil); err == nil {
+		t.Error("fetch to unreachable peer succeeded")
+	}
+}

@@ -23,15 +23,25 @@ type planEntry struct {
 	data   []byte
 	trace  []*obs.Node
 	phases []obs.Phase
+	source string // which tier filled the entry: "" (compiled), "store" or "peer"
 }
 
+// Fill sources for planEntry.source / compiled.source; a locally compiled
+// entry keeps the zero value. The strings double as X-Cache header values.
+const (
+	sourceStore = "store"
+	sourcePeer  = "peer"
+)
+
 // compiled is one compute result handed back to planCache.do: the plan, its
-// serialized bytes, and the provenance recorded while compiling.
+// serialized bytes, the provenance recorded while compiling, and which
+// cache tier produced it.
 type compiled struct {
 	plan   *compile.NetworkPlan
 	data   []byte
 	trace  []*obs.Node
 	phases []obs.Phase
+	source string
 }
 
 // planFlight is one in-flight compilation; joiners block on done and read
@@ -137,7 +147,7 @@ func (c *planCache) do(ctx context.Context, key string, compute func() (compiled
 
 // newPlanEntry freezes one compute result into a shareable cache entry.
 func newPlanEntry(key string, res compiled) *planEntry {
-	return &planEntry{key: key, plan: res.plan, data: res.data, trace: res.trace, phases: res.phases}
+	return &planEntry{key: key, plan: res.plan, data: res.data, trace: res.trace, phases: res.phases, source: res.source}
 }
 
 // hit returns the cached entry for a key still held as bytes, or nil on a

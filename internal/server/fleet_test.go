@@ -1,0 +1,428 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/peer"
+	"repro/internal/store"
+)
+
+// The fleet tests cover the two-tier distributed cache: the persistent
+// store (restart warm-up, corrupt-entry quarantine) and the peer tier
+// (proxy-on-miss, one-hop, degradation, fleet-wide singleflight).
+
+const tinyBody = `{"network": {"name": "tiny", "layers": [
+	{"name": "c1", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 4, "oc": 8}]},
+	"array": "64x64"}`
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRestartComesUpWarmFromStore(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	_, ts := newTestServer(t, Config{Store: st})
+
+	resp, first := post(t, ts.URL+"/v1/compile", tinyBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold compile: %d: %s", resp.StatusCode, first)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Fatalf("cold compile X-Cache = %q, want miss", xc)
+	}
+	st.Flush() // write-behind must land before the "restart"
+
+	// A fresh server (new engine, new LRU) over the same store directory:
+	// the same request must be a store hit — no search anywhere — with plan
+	// bytes byte-identical to the pre-restart response.
+	st2 := openStore(t, dir)
+	s2, ts2 := newTestServer(t, Config{Store: st2})
+	resp2, second := post(t, ts2.URL+"/v1/compile", tinyBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart compile: %d: %s", resp2.StatusCode, second)
+	}
+	if xc := resp2.Header.Get("X-Cache"); xc != "store" {
+		t.Errorf("post-restart X-Cache = %q, want store", xc)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("post-restart plan bytes differ from pre-restart response")
+	}
+	if searches := s2.Engine().Stats().Searches; searches != 0 {
+		t.Errorf("restarted engine ran %d searches, want 0 (store hit must not search)", searches)
+	}
+	if hits := st2.StoreStats().Hits; hits != 1 {
+		t.Errorf("store hits = %d, want 1", hits)
+	}
+
+	// The store hit is now in the LRU: a third request is a plain warm hit.
+	resp3, _ := post(t, ts2.URL+"/v1/compile", tinyBody)
+	if xc := resp3.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("third request X-Cache = %q, want hit", xc)
+	}
+}
+
+func TestCorruptStoreEntryRecomputedNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	_, ts := newTestServer(t, Config{Store: st})
+	resp, first := post(t, ts.URL+"/v1/compile", tinyBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold compile: %d", resp.StatusCode)
+	}
+	st.Flush()
+
+	// Truncate every stored entry on disk, then "restart".
+	damaged := 0
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".json" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+		return nil
+	})
+	if damaged != 1 {
+		t.Fatalf("damaged %d entries, want 1", damaged)
+	}
+
+	st2 := openStore(t, dir)
+	s2, ts2 := newTestServer(t, Config{Store: st2})
+	resp2, second := post(t, ts2.URL+"/v1/compile", tinyBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("compile over corrupt store: %d: %s (must recompute, never 500)", resp2.StatusCode, second)
+	}
+	if xc := resp2.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("X-Cache = %q, want miss (recomputed)", xc)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("recomputed plan differs from the original")
+	}
+	if s2.Engine().Stats().Searches == 0 {
+		t.Error("no search ran — corrupt entry was served")
+	}
+	stats := st2.StoreStats()
+	if stats.Corrupt != 1 {
+		t.Errorf("corrupt counter = %d, want 1", stats.Corrupt)
+	}
+	// The recompute's write-behind repairs the entry: the next restart is
+	// warm again.
+	st2.Flush()
+	st3 := openStore(t, dir)
+	if _, _, ok := st3.GetPlan(mustKeyFor(t, tinyBody)); !ok {
+		t.Error("store not repaired by recompute")
+	}
+}
+
+// mustKeyFor resolves a wire body the way the handler does and returns its
+// compile key.
+func mustKeyFor(t *testing.T, body string) string {
+	t.Helper()
+	var cr compileRequest
+	if err := json.Unmarshal([]byte(body), &cr); err != nil {
+		t.Fatal(err)
+	}
+	req, herr := cr.resolve()
+	if herr != nil {
+		t.Fatal(herr.msg)
+	}
+	key, err := compile.Key(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// newFleet builds n in-process servers wired into one consistent-hash
+// fleet over a MemTransport (no sockets), with per-node configs derived
+// from base.
+func newFleet(t *testing.T, n int, base func(i int) Config) []*Server {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("10.99.0.%d:80", i+1)
+	}
+	mt := peer.MemTransport{}
+	servers := make([]*Server, n)
+	for i := range servers {
+		ring, err := peer.NewRing(addrs[i], addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base(i)
+		cfg.Peers = peer.NewClient(ring, mt, 0)
+		servers[i] = New(cfg)
+		mt[addrs[i]] = servers[i]
+	}
+	return servers
+}
+
+// fleetPost drives one request through a fleet node's handler in-process.
+func fleetPost(t *testing.T, s *Server, body string, hdr http.Header) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, "http://fleet.test/v1/compile", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := (peer.MemTransport{"fleet.test": s}).RoundTrip(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// ownerAndClient returns the index of the fleet node owning body's key and
+// the index of some other node.
+func ownerAndClient(t *testing.T, servers []*Server, body string) (owner, client int) {
+	t.Helper()
+	key := mustKeyFor(t, body)
+	addr, _ := servers[0].peers.Ring().Owner(key)
+	owner = -1
+	for i, s := range servers {
+		if s.peers.Ring().Self() == addr {
+			owner = i
+		}
+	}
+	if owner < 0 {
+		t.Fatalf("no fleet node owns %q", addr)
+	}
+	return owner, (owner + 1) % len(servers)
+}
+
+func TestPeerProxyOnMiss(t *testing.T) {
+	servers := newFleet(t, 3, func(int) Config { return Config{} })
+	owner, client := ownerAndClient(t, servers, tinyBody)
+
+	// A request to a non-owner is proxied: the owner runs the one search,
+	// the client serves the owner's bytes marked X-Cache: peer.
+	resp, body := fleetPost(t, servers[client], tinyBody, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied compile: %d: %s", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "peer" {
+		t.Errorf("X-Cache = %q, want peer", xc)
+	}
+	if got := servers[client].Engine().Stats().Searches; got != 0 {
+		t.Errorf("client ran %d searches, want 0 (owner owns the compile)", got)
+	}
+	if got := servers[owner].Engine().Stats().Searches; got == 0 {
+		t.Error("owner ran no searches")
+	}
+	if got := servers[client].peerProxied.Load(); got != 1 {
+		t.Errorf("client peerProxied = %d, want 1", got)
+	}
+
+	// Same request to the owner: its LRU has it (filled by the hop).
+	resp2, body2 := fleetPost(t, servers[owner], tinyBody, nil)
+	if xc := resp2.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("owner X-Cache = %q, want hit", xc)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("proxied and owner-served bytes differ")
+	}
+
+	// And the client's own LRU now has it too: no second proxy.
+	resp3, _ := fleetPost(t, servers[client], tinyBody, nil)
+	if xc := resp3.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("client second request X-Cache = %q, want hit", xc)
+	}
+	if got := servers[client].peerProxied.Load(); got != 1 {
+		t.Errorf("client peerProxied after warm hit = %d, want still 1", got)
+	}
+}
+
+func TestPeerHopNeverReproxied(t *testing.T) {
+	// A node receiving an already-proxied request must answer locally even
+	// when it does not own the key — one hop maximum, no cycles.
+	servers := newFleet(t, 3, func(int) Config { return Config{} })
+	owner, client := ownerAndClient(t, servers, tinyBody)
+
+	hdr := http.Header{}
+	hdr.Set(peer.HopHeader, "test-sender")
+	resp, body := fleetPost(t, servers[client], tinyBody, hdr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hopped compile: %d: %s", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("X-Cache = %q, want miss (local compute, not re-proxied)", xc)
+	}
+	if got := servers[client].Engine().Stats().Searches; got == 0 {
+		t.Error("non-owner did not compute a hopped request locally")
+	}
+	if got := servers[owner].Engine().Stats().Searches; got != 0 {
+		t.Errorf("owner ran %d searches for a request hopped elsewhere", got)
+	}
+}
+
+func TestPeerDownDegradesToLocalCompute(t *testing.T) {
+	// Two live nodes plus one address nobody answers; requests whose owner
+	// is the dead node must still succeed via local compute.
+	addrs := []string{"10.99.1.1:80", "10.99.1.2:80", "10.99.1.3:80"}
+	mt := peer.MemTransport{}
+	servers := make([]*Server, 2)
+	for i := range servers {
+		ring, err := peer.NewRing(addrs[i], addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = New(Config{Peers: peer.NewClient(ring, mt, 0)})
+		mt[addrs[i]] = servers[i]
+	}
+	// Find a request the dead node owns; distinct names give distinct keys.
+	deadBody := ""
+	for i := 0; i < 64; i++ {
+		body := fmt.Sprintf(`{"network": {"name": "tiny-%d", "layers": [
+			{"name": "c1", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 4, "oc": 8}]},
+			"array": "64x64"}`, i)
+		addr, _ := servers[0].peers.Ring().Owner(mustKeyFor(t, body))
+		if addr == addrs[2] {
+			deadBody = body
+			break
+		}
+	}
+	if deadBody == "" {
+		t.Fatal("no probe key owned by the dead node; widen the probe set")
+	}
+	resp, body := fleetPost(t, servers[0], deadBody, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile with dead owner: %d: %s (must degrade to local compute)", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Errorf("X-Cache = %q, want miss (degraded local compute)", xc)
+	}
+	if got := servers[0].peerFailed.Load(); got != 1 {
+		t.Errorf("peerFailed = %d, want 1", got)
+	}
+	if got := servers[0].Engine().Stats().Searches; got == 0 {
+		t.Error("no local search ran under degradation")
+	}
+}
+
+func TestFleetSingleflightAcrossProxyHop(t *testing.T) {
+	// A thundering herd of identical requests on a non-owner must collapse
+	// to one proxy hop and one search on the owner: the local singleflight
+	// coalesces the herd, and the owner's coalesces whatever leaks through.
+	servers := newFleet(t, 3, func(int) Config { return Config{} })
+	owner, client := ownerAndClient(t, servers, tinyBody)
+
+	const herd = 16
+	var wg sync.WaitGroup
+	codes := make([]int, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := fleetPost(t, servers[client], tinyBody, nil)
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("herd request %d: status %d", i, c)
+		}
+	}
+	if got := servers[owner].Engine().Stats().Searches; got == 0 {
+		t.Error("owner ran no searches")
+	}
+	// Exactly one compilation fleet-wide: the owner compiled once (its
+	// SearchStats counts per-layer searches, so compare plan-cache misses),
+	// and the client never computed.
+	if got := servers[owner].plans.misses.Load(); got != 1 {
+		t.Errorf("owner plan-cache misses = %d, want 1 (herd must coalesce across the hop)", got)
+	}
+	if got := servers[client].plans.misses.Load(); got != 1 {
+		t.Errorf("client plan-cache misses = %d, want 1 (one proxying leader)", got)
+	}
+	if got := servers[client].Engine().Stats().Searches; got != 0 {
+		t.Errorf("client ran %d searches, want 0", got)
+	}
+	if got := servers[client].peerProxied.Load(); got != 1 {
+		t.Errorf("client proxied %d times, want 1", got)
+	}
+}
+
+func TestWarmManifest(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	s := New(Config{Store: st})
+	manifest := []byte(`{"requests": [
+		{"network": {"name": "tiny", "layers": [
+			{"name": "c1", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 4, "oc": 8}]},
+		 "array": "64x64"},
+		{"network": {"name": "tiny", "layers": [
+			{"name": "c1", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 4, "oc": 8}]},
+		 "array": "64x64"},
+		{"network": {"name": "tiny2", "layers": [
+			{"name": "c1", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 4, "oc": 16}]},
+		 "array": "64x64"}
+	]}`)
+	_, reqs, err := ParseManifest(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Warm(context.Background(), reqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate entry collapses: 2 distinct keys, both compiled.
+	if stats.Total != 2 || stats.Compiled != 2 || stats.Hits != 0 || stats.Failed != 0 {
+		t.Errorf("first warm = %+v, want 2 total, 2 compiled", stats)
+	}
+	st.Flush()
+
+	// Warming again over the same store is a no-op: resumable via the store.
+	st2 := openStore(t, dir)
+	s2 := New(Config{Store: st2})
+	stats2, err := s2.Warm(context.Background(), reqs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Compiled != 0 || stats2.Hits != 2 {
+		t.Errorf("resumed warm = %+v, want 0 compiled, 2 hits", stats2)
+	}
+	if searches := s2.Engine().Stats().Searches; searches != 0 {
+		t.Errorf("resumed warm ran %d searches, want 0", searches)
+	}
+}
+
+func TestParseManifestRejects(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`{"requests": []}`,
+		`{"requests": [{"network": "NoSuchNet", "array": "64x64"}]}`,
+		`{"requests": [{"network": "VGG-13"}]}`,
+		`{"typo": 1}`,
+	}
+	for _, c := range cases {
+		if _, _, err := ParseManifest([]byte(c)); err == nil {
+			t.Errorf("ParseManifest(%s) accepted", c)
+		}
+	}
+}

@@ -343,7 +343,7 @@ func (s *Server) createCompileJob(w http.ResponseWriter, body *compileRequest) {
 	}
 	go func() {
 		j.setRunning()
-		entry, cached, err := s.compilePlan(ctx, key, creq, true)
+		entry, cached, err := s.compilePlan(ctx, key, creq, true, false)
 		if err == nil {
 			j.setPlan(entry.data, cached)
 		}

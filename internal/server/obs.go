@@ -125,6 +125,25 @@ func (s *Server) initMetrics() {
 	r.GaugeFunc("vwsdk_engine_searches_in_flight", "Searches currently holding a worker-pool slot.",
 		func() float64 { return float64(s.eng.Stats().InFlightSearches) })
 
+	// The store and peer tiers register only when configured, so a
+	// single-node, memory-only daemon's exposition is unchanged.
+	if s.store != nil {
+		r.CounterFunc("vwsdk_store_hits_total", "Plan-store loads that validated and were served.",
+			func() uint64 { return s.store.StoreStats().Hits })
+		r.CounterFunc("vwsdk_store_misses_total", "Plan-store lookups of absent keys.",
+			func() uint64 { return s.store.StoreStats().Misses })
+		r.CounterFunc("vwsdk_store_writes_total", "Plans written behind to the store.",
+			func() uint64 { return s.store.StoreStats().Writes })
+		r.CounterFunc("vwsdk_store_corrupt_total", "Store entries that failed validation and were quarantined.",
+			func() uint64 { return s.store.StoreStats().Corrupt })
+	}
+	if s.peers != nil {
+		r.CounterFunc("vwsdk_peer_proxied_total", "Plan-cache misses filled from the owning peer.",
+			func() uint64 { return s.peerProxied.Load() })
+		r.CounterFunc("vwsdk_peer_failed_total", "Peer proxy attempts that fell back to local compute.",
+			func() uint64 { return s.peerFailed.Load() })
+	}
+
 	r.CounterFunc("vwsdk_jobs_created_total", "Jobs accepted by POST /v1/jobs.",
 		func() uint64 { return s.jobs.created.Load() })
 	r.CounterFunc("vwsdk_jobs_cancelled_total", "Live jobs cancelled by DELETE.",
@@ -199,7 +218,7 @@ func (s *Server) handleCompileTraced(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := s.requestContext(r)
 		defer cancel()
 		_, hsp := obs.Start(tctx, "handler")
-		entry, cached, err = s.compilePlan(ctx, key, req, false)
+		entry, cached, err = s.compilePlan(ctx, key, req, false, isPeerHop(r))
 		hsp.End()
 		if err != nil {
 			writeError(w, toHTTPError(err))
@@ -207,7 +226,7 @@ func (s *Server) handleCompileTraced(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	setPlanHeaders(w.Header(), cached)
+	setPlanHeaders(w.Header(), cached, entry.source)
 	w.Header().Set("Server-Timing", obs.ServerTiming(tr.Phases(), time.Since(start)))
 	resp := map[string]any{
 		"request_id": w.Header().Get("X-Request-Id"),

@@ -196,6 +196,40 @@ func (o *requestOptions) compileOptions() (compile.Options, *httpError) {
 	return opts, nil
 }
 
+// wireOptions maps resolved compile.Options back onto their wire form — the
+// inverse of compileOptions, used to rebuild a /v1/compile body for the peer
+// hop. Defaulted options collapse to nil so the proxied body is minimal.
+// Options with no wire form (Energy, Plans) must be rejected by the caller
+// before this point (see proxyBody).
+func wireOptions(opts compile.Options) *requestOptions {
+	var o requestOptions
+	switch opts.Scheme {
+	case compile.VWSDK:
+		// The default; leave the field empty.
+	case compile.Im2col:
+		o.Scheme = "im2col"
+	case compile.SMD:
+		o.Scheme = "smd"
+	case compile.SDK:
+		o.Scheme = "sdk"
+	}
+	switch opts.Variant {
+	case core.VariantFull:
+	case core.VariantSquareTiled:
+		o.Variant = "square-tiled"
+	case core.VariantRectFullChannel:
+		o.Variant = "rect-full-channel"
+	}
+	if opts.Arrays > 1 {
+		o.Arrays = opts.Arrays
+	}
+	o.GatePeripherals = opts.GatePeripherals
+	if o == (requestOptions{}) {
+		return nil
+	}
+	return &o
+}
+
 // parseVariant maps a wire variant name onto the VW-SDK ablation enum.
 func parseVariant(name string) (core.Variant, *httpError) {
 	switch name {

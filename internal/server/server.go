@@ -63,6 +63,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/peer"
 )
 
 // Config configures a Server. The zero value is usable: a fresh engine,
@@ -111,6 +112,19 @@ type Config struct {
 
 	// Logger receives one access-log line per request; nil disables logging.
 	Logger *log.Logger
+
+	// Store is the persistent plan store (internal/store) consulted on
+	// plan-cache misses before any search runs and written behind every
+	// locally computed plan, so restarts come up warm; nil disables
+	// persistence. The warm-hit fast path is unaffected: the store is only
+	// reached inside the miss singleflight.
+	Store compile.PlanStore
+
+	// Peers enables consistent-hash proxy-on-miss across a static vwsdkd
+	// fleet (internal/peer): a miss on a key another node owns is fetched
+	// from that node instead of searched locally, falling back to local
+	// compute when the owner is unreachable. nil disables the fleet tier.
+	Peers *peer.Client
 }
 
 const (
@@ -138,10 +152,15 @@ type Server struct {
 	maxQueue int
 	queued   atomic.Int64
 
-	requests atomic.Uint64
-	inFlight atomic.Int64
-	rejected atomic.Uint64
-	hist     latencyHist
+	store compile.PlanStore
+	peers *peer.Client
+
+	requests    atomic.Uint64
+	inFlight    atomic.Int64
+	rejected    atomic.Uint64
+	peerProxied atomic.Uint64
+	peerFailed  atomic.Uint64
+	hist        latencyHist
 
 	started   time.Time
 	metrics   *obs.Registry
@@ -182,6 +201,8 @@ func New(cfg Config) *Server {
 		eng:      cfg.Engine,
 		comp:     compile.New(searcher),
 		plans:    newPlanCache(cfg.PlanCacheSize),
+		store:    cfg.Store,
+		peers:    cfg.Peers,
 		jobs:     newJobSet(cfg.JobTTL, cfg.MaxJobs),
 		logger:   cfg.Logger,
 		maxBody:  cfg.MaxBodyBytes,
@@ -366,7 +387,20 @@ func (s *Server) release() { <-s.sem }
 // joining an in-flight compilation and the search loops themselves all
 // abort when ctx ends. block selects the sweep-cell/job admission policy
 // (wait indefinitely) over the compile-endpoint one (bounded queue, 503).
-// The returned entry is shared and must not be mutated.
+// hop marks a request already proxied by a peer, which must be answered
+// locally (never re-proxied). The returned entry is shared and must not be
+// mutated.
+//
+// A miss fills through the cache tiers in cost order, all inside the
+// singleflight (so N identical concurrent requests — including a fleet-wide
+// thundering herd arriving through the peer hop — still do exactly one
+// search somewhere):
+//
+//  1. the persistent store (validated on load; a quarantined entry falls
+//     through to recompute),
+//  2. the owning peer, when a fleet is configured and another node owns the
+//     key (failure degrades to local compute),
+//  3. a local compile, written behind to the store.
 //
 // Every compilation that actually runs records its own provenance trace —
 // queue-wait, the compile pipeline's span tree, and plan serialization —
@@ -375,9 +409,18 @@ func (s *Server) release() { <-s.sem }
 // still answers where the plan came from) and feed the per-phase
 // vwsdk_compile_phase_seconds histograms. The provenance trace deliberately
 // replaces any request trace on ctx; the request's own tree references the
-// compile through its "handler" phase.
-func (s *Server) compilePlan(ctx context.Context, key string, req compile.Request, block bool) (*planEntry, bool, error) {
+// compile through its "handler" phase. Store and peer fills carry no
+// provenance — the search they avoid is exactly the part worth tracing.
+func (s *Server) compilePlan(ctx context.Context, key string, req compile.Request, block, hop bool) (*planEntry, bool, error) {
 	return s.plans.do(ctx, key, func() (compiled, error) {
+		if s.store != nil {
+			if data, plan, ok := s.store.GetPlan(key); ok {
+				return compiled{plan: plan, data: data, source: sourceStore}, nil
+			}
+		}
+		if res, ok := s.fetchFromPeer(ctx, key, req, hop); ok {
+			return res, nil
+		}
 		prov := obs.New(req.Network.Name)
 		pctx := obs.NewContext(ctx, prov)
 		_, qsp := obs.Start(pctx, "queue-wait")
@@ -406,8 +449,84 @@ func (s *Server) compilePlan(ctx context.Context, key string, req compile.Reques
 			return compiled{}, err
 		}
 		s.observeCompile(prov)
+		if s.store != nil {
+			// Write-behind: PutPlan is asynchronous, so persistence costs the
+			// serve path nothing. Locally computed plans are persisted whether
+			// or not this node owns the key — a node that computed under peer
+			// degradation stays warm across its own restarts too.
+			s.store.PutPlan(key, buf.Bytes())
+		}
 		return compiled{plan: p, data: buf.Bytes(), trace: prov.Tree(), phases: prov.Phases()}, nil
 	})
+}
+
+// fetchFromPeer tries to fill a miss from the key's owning peer. It returns
+// ok=false — degrade to local compute — when no fleet is configured, the
+// request already took its one hop, this node owns the key, the request is
+// not wire-representable, or the owner is down or answers garbage. Failures
+// of an actual attempt are counted; configuration-based skips are not.
+func (s *Server) fetchFromPeer(ctx context.Context, key string, req compile.Request, hop bool) (compiled, bool) {
+	if s.peers == nil || hop {
+		return compiled{}, false
+	}
+	owner, self := s.peers.Ring().Owner(key)
+	if self {
+		return compiled{}, false
+	}
+	body, ok := proxyBody(req)
+	if !ok {
+		return compiled{}, false
+	}
+	data, err := s.peers.Fetch(ctx, owner, body)
+	if err != nil {
+		s.peerFailed.Add(1)
+		if s.logger != nil {
+			s.logger.Printf("peer: falling back to local compute for %s: %v", req.Network.Name, err)
+		}
+		return compiled{}, false
+	}
+	// Validate the peer's bytes exactly like a store load: a corrupt or
+	// truncated response must never enter the cache. The owner serialized a
+	// validated plan, so a failure here means transport damage or version
+	// skew — either way, local compute is the safe answer.
+	plan, err := compile.FromJSON(data)
+	if err != nil {
+		s.peerFailed.Add(1)
+		if s.logger != nil {
+			s.logger.Printf("peer: rejected invalid plan from %s: %v", owner, err)
+		}
+		return compiled{}, false
+	}
+	s.peerProxied.Add(1)
+	return compiled{plan: plan, data: data, source: sourcePeer}, true
+}
+
+// proxyBody serializes a resolved request back into the /v1/compile wire
+// format for the peer hop. Requests whose options have no wire form — a
+// custom energy model or physical plans, neither reachable through the HTTP
+// surface today — report ok=false and are compiled locally.
+func proxyBody(req compile.Request) ([]byte, bool) {
+	if req.Options.Energy != nil || req.Options.Plans {
+		return nil, false
+	}
+	spec, err := model.ToJSON(req.Network)
+	if err != nil {
+		return nil, false
+	}
+	wire := struct {
+		Network json.RawMessage `json:"network"`
+		Array   map[string]int  `json:"array"`
+		Options *requestOptions `json:"options,omitempty"`
+	}{
+		Network: json.RawMessage(spec),
+		Array:   map[string]int{"rows": req.Array.Rows, "cols": req.Array.Cols},
+		Options: wireOptions(req.Options),
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return nil, false
+	}
+	return body, true
 }
 
 // keyBufPool recycles compile.AppendKey scratch buffers across requests, so
@@ -420,19 +539,36 @@ var keyBufPool = sync.Pool{New: func() any {
 // Shared header value slices: assigning them into the header map directly
 // avoids the per-request []string{v} allocation http.Header.Set would pay.
 var (
-	hdrJSON = []string{"application/json"}
-	hdrHit  = []string{"hit"}
-	hdrMiss = []string{"miss"}
+	hdrJSON  = []string{"application/json"}
+	hdrHit   = []string{"hit"}
+	hdrMiss  = []string{"miss"}
+	hdrStore = []string{sourceStore}
+	hdrPeer  = []string{sourcePeer}
 )
 
-// setPlanHeaders writes the /v1/compile response headers without allocating.
-func setPlanHeaders(h http.Header, cached bool) {
+// setPlanHeaders writes the /v1/compile response headers without
+// allocating. X-Cache reports how this response was produced: "hit" (LRU
+// hit or coalesced join), "store" (filled from the persistent store),
+// "peer" (fetched from the owning peer) or "miss" (compiled here).
+func setPlanHeaders(h http.Header, cached bool, source string) {
 	h["Content-Type"] = hdrJSON
-	if cached {
+	switch {
+	case cached:
 		h["X-Cache"] = hdrHit
-	} else {
+	case source == sourceStore:
+		h["X-Cache"] = hdrStore
+	case source == sourcePeer:
+		h["X-Cache"] = hdrPeer
+	default:
 		h["X-Cache"] = hdrMiss
 	}
+}
+
+// isPeerHop reports whether the request was proxied here by a peer
+// (peer.HopHeader present) and must therefore be answered locally — one hop
+// maximum, so disagreeing rings can never form a proxy cycle.
+func isPeerHop(r *http.Request) bool {
+	return len(r.Header[peer.HopHeader]) > 0
 }
 
 // cachedEntry builds req's canonical key in a pooled buffer and looks it up
@@ -491,7 +627,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errorf(http.StatusUnprocessableEntity, "%v", err))
 		return
 	} else if entry != nil {
-		setPlanHeaders(w.Header(), true)
+		setPlanHeaders(w.Header(), true, "")
 		w.Write(entry.data)
 		return
 	}
@@ -503,12 +639,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	entry, cached, err := s.compilePlan(ctx, key, req, false)
+	entry, cached, err := s.compilePlan(ctx, key, req, false, isPeerHop(r))
 	if err != nil {
 		writeError(w, toHTTPError(err))
 		return
 	}
-	setPlanHeaders(w.Header(), cached)
+	setPlanHeaders(w.Header(), cached, entry.source)
 	// Server-Timing carries the compile provenance phases (queue-wait,
 	// compile, encode) plus this request's own total. A coalesced join
 	// reports the leader's phases, which may exceed the joiner's total —
@@ -549,13 +685,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 // Stats is the /stats payload: process, server, plan-cache, job and engine
-// counters.
+// counters, plus the store and peer tiers when configured.
 type Stats struct {
 	Process   ProcessStats   `json:"process"`
 	Server    ServerStats    `json:"server"`
 	PlanCache PlanCacheStats `json:"plan_cache"`
 	Jobs      JobStats       `json:"jobs"`
 	Engine    EngineStats    `json:"engine"`
+
+	// Store reports the persistent plan store's counters; nil when no store
+	// is configured.
+	Store *compile.StoreStats `json:"store,omitempty"`
+
+	// Peer reports the fleet tier's counters; nil when no peers are
+	// configured.
+	Peer *PeerStats `json:"peer,omitempty"`
+}
+
+// PeerStats are the fleet tier's counters and configuration.
+type PeerStats struct {
+	// Proxied counts misses successfully filled from the owning peer;
+	// Failed counts proxy attempts that fell back to local compute (peer
+	// down, or an invalid response).
+	Proxied uint64 `json:"proxied"`
+	Failed  uint64 `json:"failed"`
+
+	// Nodes is the ring size; Self is this node's address in the ring (""
+	// when it is not a member).
+	Nodes int    `json:"nodes"`
+	Self  string `json:"self"`
 }
 
 // ProcessStats identify and size the serving process, so fleet dashboards
@@ -605,7 +763,23 @@ type EngineStats struct {
 // Stats returns a snapshot of every counter the service exposes.
 func (s *Server) Stats() Stats {
 	es := s.eng.Stats()
+	var st *compile.StoreStats
+	if s.store != nil {
+		ss := s.store.StoreStats()
+		st = &ss
+	}
+	var ps *PeerStats
+	if s.peers != nil {
+		ps = &PeerStats{
+			Proxied: s.peerProxied.Load(),
+			Failed:  s.peerFailed.Load(),
+			Nodes:   len(s.peers.Ring().Nodes()),
+			Self:    s.peers.Ring().Self(),
+		}
+	}
 	return Stats{
+		Store: st,
+		Peer:  ps,
 		Process: ProcessStats{
 			Version:       cliutil.Version(),
 			Revision:      cliutil.Revision(),

@@ -275,7 +275,7 @@ func (s *Server) runCell(ctx context.Context, c sweepCell) (sweepSummary, error)
 		sum.Error = err.Error()
 		return sum, nil
 	}
-	entry, cached, err := s.compilePlan(ctx, key, c.req, true)
+	entry, cached, err := s.compilePlan(ctx, key, c.req, true, false)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return sweepSummary{}, err
