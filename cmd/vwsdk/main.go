@@ -15,6 +15,7 @@
 //	vwsdk -network mynet.json -array 512x512 -arrays 16
 //	vwsdk -network VGG-13 -array 256x256 -csv
 //	vwsdk -network ResNet-18 -array 512x512 -trace trace.json  # open in chrome://tracing
+//	vwsdk -optimize space.json  # hardware co-design: print the cycles/energy/area Pareto frontier
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/model"
+	"repro/internal/optimize"
 	"repro/internal/textplot"
 )
 
@@ -55,6 +57,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("vwsdk", flag.ContinueOnError)
 	var (
 		network = fs.String("network", "", "predefined network (VGG-13, ResNet-18, VGG-16, AlexNet, MobileNet-V2, ResNeXt-50) or a JSON spec file; overrides the layer flags")
+		optSp   = fs.String("optimize", "", "design-space spec file: search the hardware space and print the Pareto frontier (overrides -network)")
 		arraySp = fs.String("array", "512x512", "PIM array size RowsxCols")
 		nArrays = fs.Int("arrays", 1, "number of crossbars on the chip (multi-array makespan)")
 		explain = fs.Bool("explain", false, "print the equation-by-equation derivation (single layer only)")
@@ -117,6 +120,14 @@ func run(args []string, out io.Writer) (retErr error) {
 	// per-layer searches.
 	eng := engine.New(engine.WithWorkers(*workers))
 	comp := compile.New(eng)
+
+	if *optSp != "" {
+		if err := runOptimize(ctx, out, comp, *optSp, *csv); err != nil {
+			return err
+		}
+		printEngineStats(out, eng, *stats)
+		return nil
+	}
 
 	var net model.Network
 	if *network != "" {
@@ -182,16 +193,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			sdk.Totals.Cycles, "", vw.Totals.Cycles,
 			fmt.Sprintf("%.2f", vw.Totals.Speedup), "")
 	}
-	printStats := func() {
-		if !*stats {
-			return
-		}
-		st := eng.Stats()
-		fmt.Fprintf(out, "\nengine: %d searches, %d cache hits (%d in-flight dedupes), %d misses, %d cached results, %d evictions\n",
-			st.Searches, st.CacheHits, st.FlightDedupes, st.CacheMisses, st.CachedResults, st.Evictions)
-		fmt.Fprintf(out, "search: %d candidates costed, %d pruned by breakpoint enumeration\n",
-			st.CandidatesCosted, st.CandidatesPruned)
-	}
+	printStats := func() { printEngineStats(out, eng, *stats) }
 	if *csv {
 		fmt.Fprint(out, table.CSV())
 		printStats()
@@ -208,5 +210,56 @@ func run(args []string, out io.Writer) (retErr error) {
 			float64(vw.Totals.Makespan)/float64(many.Totals.Makespan), many.Totals.Programs)
 	}
 	printStats()
+	return nil
+}
+
+// printEngineStats prints the -stats block shared by the compile and
+// optimize modes.
+func printEngineStats(out io.Writer, eng *engine.Engine, enabled bool) {
+	if !enabled {
+		return
+	}
+	st := eng.Stats()
+	fmt.Fprintf(out, "\nengine: %d searches, %d cache hits (%d in-flight dedupes), %d misses, %d cached results, %d evictions\n",
+		st.Searches, st.CacheHits, st.FlightDedupes, st.CacheMisses, st.CachedResults, st.Evictions)
+	fmt.Fprintf(out, "search: %d candidates costed, %d pruned by breakpoint enumeration\n",
+		st.CandidatesCosted, st.CandidatesPruned)
+}
+
+// runOptimize is the -optimize mode: load the design-space spec, search it
+// through the shared compiler and print the Pareto frontier, best cycles
+// first.
+func runOptimize(ctx context.Context, out io.Writer, comp *compile.Compiler, path string, csv bool) error {
+	space, err := optimize.FromJSONFile(path)
+	if err != nil {
+		return err
+	}
+	f, err := optimize.New(comp).Run(ctx, space, nil)
+	if err != nil {
+		return err
+	}
+	name := space.Name
+	if name == "" {
+		name = space.Network.Name
+	}
+	table := &textplot.Table{
+		Title:  fmt.Sprintf("Pareto frontier for %s (%d design points, %d layer groups)", name, f.Evaluated, f.Groups),
+		Header: []string{"id", "arrays", "chips/group", "gated", "cycles", "energy (J)", "area (cells)"},
+	}
+	for _, p := range f.Points {
+		specs := make([]string, len(p.Arrays))
+		for i, a := range p.Arrays {
+			specs[i] = a.String()
+		}
+		table.AddRow(p.ID, strings.Join(specs, "+"), p.Chips, p.Gated,
+			p.Metrics.Cycles, fmt.Sprintf("%.3e", p.Metrics.EnergyJ), p.Metrics.AreaCells)
+	}
+	if csv {
+		fmt.Fprint(out, table.CSV())
+	} else {
+		fmt.Fprint(out, table.String())
+	}
+	fmt.Fprintf(out, "\n%d of %d design points dominated (%d rejected on arrival, %d evicted); frontier keeps %d\n",
+		f.Dominated, f.Evaluated, f.Rejected, f.Evicted, len(f.Points))
 	return nil
 }

@@ -13,6 +13,13 @@
 // gate is -check-against, which compares a fresh run to the committed
 // snapshot.
 //
+// With -optimize it benchmarks the Pareto-frontier hardware co-design search
+// (internal/optimize) on a fixed 64-point design space and writes
+// BENCH_optimize.json: the frontier shape, the engine-memoization counters
+// (distinct searches must stay at one per shared (layer, array) cell), and
+// cold/warm wall-clock figures. -check-against pins the deterministic
+// frontier shape exactly and fails on any memoization regression.
+//
 // With -fleet it benchmarks the fleet tier: a zipfian compile mix driven
 // round-robin over an in-process 3-node consistent-hash fleet (persistent
 // stores, peer proxying, no sockets) versus the same mix over a single node
@@ -32,6 +39,8 @@
 //	vwsdkbench -serve -benchtime 1x -check-against BENCH_serve.json
 //	vwsdkbench -fleet                     # fleet benchmark, writes BENCH_fleet.json
 //	vwsdkbench -fleet -check-against BENCH_fleet.json
+//	vwsdkbench -optimize                  # co-design search benchmark, writes BENCH_optimize.json
+//	vwsdkbench -optimize -benchtime 1x -check-against BENCH_optimize.json
 package main
 
 import (
@@ -63,7 +72,8 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 		check     = fs.Float64("check-reduction", 0, "exit non-zero unless the best Table-I candidate reduction is at least this factor")
 		serve     = fs.Bool("serve", false, "benchmark the HTTP serve path (cold/warm compile, streaming sweep) instead of the search")
 		fleet     = fs.Bool("fleet", false, "benchmark an in-process 3-node consistent-hash fleet under a zipfian compile mix instead of the search")
-		against   = fs.String("check-against", "", "with -serve or -fleet: exit non-zero if the run regresses versus this committed snapshot (BENCH_serve.json / BENCH_fleet.json)")
+		optimizeB = fs.Bool("optimize", false, "benchmark the Pareto-frontier co-design search instead of the layer search")
+		against   = fs.String("check-against", "", "with -serve, -fleet or -optimize: exit non-zero if the run regresses versus this committed snapshot")
 		quiet     = fs.Bool("quiet", false, "suppress per-workload progress output")
 		timeout   = fs.Duration("timeout", 0, "abort the harness after this long (0 = no deadline)")
 		version   = fs.Bool("version", false, "print the version and exit")
@@ -118,27 +128,33 @@ func run(args []string, out, progress io.Writer) (retErr error) {
 			retErr = terr
 		}
 	}()
-	if *serve || *fleet {
-		if *serve && *fleet {
-			return fmt.Errorf("-serve and -fleet are mutually exclusive")
+	if *serve || *fleet || *optimizeB {
+		var modes []string
+		for flagName, on := range map[string]bool{"-serve": *serve, "-fleet": *fleet, "-optimize": *optimizeB} {
+			if on {
+				modes = append(modes, flagName)
+			}
 		}
-		mode := "-serve"
-		if *fleet {
-			mode = "-fleet"
+		if len(modes) > 1 {
+			return fmt.Errorf("-serve, -fleet and -optimize are mutually exclusive")
 		}
+		mode := modes[0]
 		if *check > 0 {
 			return fmt.Errorf("-check-reduction applies to the search benchmark, not %s", mode)
 		}
 		if *filter != "" {
 			return fmt.Errorf("-filter applies to the search benchmark, not %s", mode)
 		}
-		if *fleet {
+		switch {
+		case *fleet:
 			return runFleet(ctx, opts, *outPath, *against, out, progress)
+		case *optimizeB:
+			return runOptimize(ctx, opts, *outPath, *against, out, progress)
 		}
 		return runServe(ctx, opts, *outPath, *against, out, progress)
 	}
 	if *against != "" {
-		return fmt.Errorf("-check-against requires -serve or -fleet")
+		return fmt.Errorf("-check-against requires -serve, -fleet or -optimize")
 	}
 	if *outPath == "" {
 		*outPath = "BENCH_search.json"
@@ -306,6 +322,71 @@ func checkFleet(rep *bench.FleetReport, path string) error {
 	if rep.ProxiedP50Ns > limit {
 		return fmt.Errorf("proxied p50 regressed: %dns > limit %dns (committed %dns)",
 			rep.ProxiedP50Ns, limit, base.ProxiedP50Ns)
+	}
+	return nil
+}
+
+// runOptimize executes the co-design search benchmark, writes the report, and
+// applies the -check-against regression gate.
+func runOptimize(ctx context.Context, opts bench.Options, outPath, against string, out, progress io.Writer) error {
+	rep, err := bench.RunOptimize(ctx, opts)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath == "" {
+		outPath = "BENCH_optimize.json"
+	}
+	if outPath == "-" {
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s: %d design points, frontier %d (%d dominated), %d distinct searches of %d served\n",
+			outPath, rep.PointsEvaluated, rep.FrontierSize, rep.Dominated,
+			rep.DistinctSearches, rep.SearchesServed)
+	}
+	if against != "" {
+		return checkOptimize(rep, against)
+	}
+	return nil
+}
+
+// checkOptimize fails when the fresh optimize run diverges from the committed
+// snapshot. The workload is fully deterministic — a fixed space enumerated
+// and evaluated sequentially — so the frontier shape must reproduce exactly
+// on any machine, and the distinct-search count may never exceed the
+// snapshot's: one extra algorithm run means a shared (layer, array) cell was
+// searched twice, i.e. the memoization reuse the optimizer is built on broke.
+// Wall-clock figures are machine-dependent and not gated.
+func checkOptimize(rep *bench.OptimizeReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-check-against: %w", err)
+	}
+	var base bench.OptimizeReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-check-against: parse %s: %w", path, err)
+	}
+	if base.Schema != bench.OptimizeSchema {
+		return fmt.Errorf("-check-against: %s has schema %q, want %q", path, base.Schema, bench.OptimizeSchema)
+	}
+	if rep.PointsEvaluated != base.PointsEvaluated || rep.FrontierSize != base.FrontierSize ||
+		rep.Dominated != base.Dominated {
+		return fmt.Errorf("frontier shape regressed: evaluated/frontier/dominated %d/%d/%d != committed %d/%d/%d",
+			rep.PointsEvaluated, rep.FrontierSize, rep.Dominated,
+			base.PointsEvaluated, base.FrontierSize, base.Dominated)
+	}
+	if rep.DistinctSearches > base.DistinctSearches {
+		return fmt.Errorf("search memoization regressed: %d distinct searches > committed %d (a shared cell ran twice)",
+			rep.DistinctSearches, base.DistinctSearches)
 	}
 	return nil
 }

@@ -221,6 +221,57 @@ func TestRunFleet(t *testing.T) {
 	}
 }
 
+// TestRunOptimize smoke-runs the -optimize benchmark in CI mode, validates
+// the written report, and exercises the -check-against gate in both
+// directions: a fresh run checked against itself passes, while a doctored
+// snapshot claiming fewer distinct searches must fail.
+func TestRunOptimize(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH_optimize.json")
+	var stdout, progress bytes.Buffer
+	if err := run([]string{"-optimize", "-benchtime", "1x", "-o", out}, &stdout, &progress); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.OptimizeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != bench.OptimizeSchema || rep.PointsEvaluated != 64 {
+		t.Fatalf("report header/shape: schema=%q evaluated=%d", rep.Schema, rep.PointsEvaluated)
+	}
+	if rep.FrontierSize < 1 || rep.Dominated < 1 {
+		t.Errorf("degenerate frontier: %+v", rep)
+	}
+	if !strings.Contains(progress.String(), "wrote "+out) {
+		t.Errorf("progress output missing summary:\n%s", progress.String())
+	}
+
+	// Gate against the run's own output: must pass.
+	if err := run([]string{"-optimize", "-benchtime", "1x", "-quiet", "-o", filepath.Join(dir, "b.json"),
+		"-check-against", out}, &stdout, &progress); err != nil {
+		t.Errorf("self-check failed: %v", err)
+	}
+
+	// Doctor the snapshot so every fresh run looks like a memoization
+	// regression: no real run can search fewer distinct cells than exist.
+	doctored := rep
+	doctored.DistinctSearches = 1
+	bad, _ := json.Marshal(doctored)
+	badPath := filepath.Join(dir, "doctored.json")
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-optimize", "-benchtime", "1x", "-quiet", "-o", filepath.Join(dir, "c.json"),
+		"-check-against", badPath}, &stdout, &progress)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("doctored snapshot passed the gate: %v", err)
+	}
+}
+
 // TestRunServeFlagConflicts pins the flag combinations that make no sense.
 func TestRunServeFlagConflicts(t *testing.T) {
 	var out, progress bytes.Buffer
@@ -238,6 +289,12 @@ func TestRunServeFlagConflicts(t *testing.T) {
 	}
 	if err := run([]string{"-fleet", "-filter", "VGG"}, &out, &progress); err == nil {
 		t.Error("-fleet -filter accepted")
+	}
+	if err := run([]string{"-optimize", "-fleet"}, &out, &progress); err == nil {
+		t.Error("-optimize -fleet accepted")
+	}
+	if err := run([]string{"-optimize", "-check-reduction", "10"}, &out, &progress); err == nil {
+		t.Error("-optimize -check-reduction accepted")
 	}
 }
 

@@ -1,0 +1,71 @@
+// Hardware co-design: search a space of PIM array geometries, chip counts
+// and peripheral-gating settings for a small CNN and print the Pareto
+// frontier under (cycles, energy, area) — the design points no other point
+// beats on every objective at once.
+//
+// The same space can be searched from the CLI (vwsdk -optimize space.json)
+// or over HTTP (POST /v1/optimize on vwsdkd); this is the library form.
+//
+// Run with: go run ./examples/optimize
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	vwsdk "repro"
+)
+
+func main() {
+	// The design-space spec is the same JSON the CLI and the HTTP endpoint
+	// accept: a network (inline or a zoo name), candidate arrays, chip
+	// counts and gating settings. layer_groups: 2 splits the network into
+	// two contiguous groups that are assigned arrays independently, so the
+	// search can put early wide layers and late narrow layers on different
+	// array geometries.
+	spec, err := os.ReadFile("examples/designspaces/tinynet.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := vwsdk.DesignSpaceFromJSON(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	space.Groups = 2
+
+	f, err := vwsdk.Optimize(space)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	points, err := space.Points()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("searched %d design points; %d dominated (%d rejected on arrival, %d evicted)\n\n",
+		points, f.Dominated, f.Rejected, f.Evicted)
+	fmt.Printf("%-4s %-18s %-12s %-6s %8s %12s %12s\n",
+		"id", "arrays", "chips/group", "gated", "cycles", "energy (J)", "area (cells)")
+	for _, p := range f.Points {
+		arrays := ""
+		for i, a := range p.Arrays {
+			if i > 0 {
+				arrays += "+"
+			}
+			arrays += a.String()
+		}
+		fmt.Printf("%-4d %-18s %-12d %-6v %8d %12.3e %12d\n",
+			p.ID, arrays, p.Chips, p.Gated,
+			p.Metrics.Cycles, p.Metrics.EnergyJ, p.Metrics.AreaCells)
+	}
+
+	// The frontier is the menu of rational designs: the first point is the
+	// fastest (most area), the last the smallest (most cycles); everything
+	// in between trades one objective for another.
+	fast, small := f.Points[0], f.Points[len(f.Points)-1]
+	fmt.Printf("\nfastest design: #%d at %d cycles on %d cells\n",
+		fast.ID, fast.Metrics.Cycles, fast.Metrics.AreaCells)
+	fmt.Printf("smallest design: #%d at %d cells taking %d cycles\n",
+		small.ID, small.Metrics.AreaCells, small.Metrics.Cycles)
+}

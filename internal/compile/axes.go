@@ -1,0 +1,134 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// This file turns Options into a searchable design space. Each Options knob
+// gets an axis type — a candidate list whose Candidates() expansion yields
+// the values a search should try — and Axes composes them into a cross
+// product of complete Options. Options itself is untouched: an axis is a
+// *description of a set of Options*, so the zero-value semantics, Key
+// encoding and golden files of single-point compilation are unaffected by
+// construction. An empty axis means "don't search this knob": it expands to
+// exactly the knob's zero value, so Axes{}.Candidates() is the one zero
+// Options — the same compilation a bare Compile call runs.
+//
+// The optimize package enumerates hardware design points through these axes;
+// anything else that wants to sweep a knob (benches, experiments) can reuse
+// them instead of hand-rolling nested loops.
+
+// SchemeAxis enumerates mapping schemes. Empty means the zero Scheme (VWSDK).
+type SchemeAxis []Scheme
+
+// Candidates returns the schemes to try, defaulting to the zero value.
+func (a SchemeAxis) Candidates() []Scheme {
+	if len(a) == 0 {
+		return []Scheme{VWSDK}
+	}
+	return a
+}
+
+// VariantAxis enumerates VW-SDK ablation variants. Empty means the zero
+// Variant (the full algorithm).
+type VariantAxis []core.Variant
+
+// Candidates returns the variants to try, defaulting to the zero value.
+func (a VariantAxis) Candidates() []core.Variant {
+	if len(a) == 0 {
+		return []core.Variant{core.VariantFull}
+	}
+	return a
+}
+
+// CountAxis enumerates integer-valued knobs (chip array counts). Empty means
+// the zero value, which Options normalization reads as a single array.
+type CountAxis []int
+
+// Candidates returns the counts to try, defaulting to the zero value.
+func (a CountAxis) Candidates() []int {
+	if len(a) == 0 {
+		return []int{0}
+	}
+	return a
+}
+
+// BoolAxis enumerates boolean knobs (peripheral gating). Empty means false.
+type BoolAxis []bool
+
+// Candidates returns the values to try, defaulting to the zero value.
+func (a BoolAxis) Candidates() []bool {
+	if len(a) == 0 {
+		return []bool{false}
+	}
+	return a
+}
+
+// Axes is the searchable form of Options: one axis per enumerable knob. The
+// zero Axes describes the single zero Options. Knobs without an axis (the
+// energy model, physical plans) are not part of any hardware search and stay
+// at their Options defaults.
+type Axes struct {
+	// Schemes enumerates Options.Scheme.
+	Schemes SchemeAxis
+
+	// Variants enumerates Options.Variant (consulted only when the scheme
+	// is VWSDK, exactly as in Options).
+	Variants VariantAxis
+
+	// Arrays enumerates Options.Arrays, the number of crossbars per chip.
+	Arrays CountAxis
+
+	// GatePeripherals enumerates Options.GatePeripherals.
+	GatePeripherals BoolAxis
+}
+
+// Count returns len(Candidates()) without materializing the cross product.
+func (a Axes) Count() int {
+	return len(a.Schemes.Candidates()) * len(a.Variants.Candidates()) *
+		len(a.Arrays.Candidates()) * len(a.GatePeripherals.Candidates())
+}
+
+// Candidates expands the axes into the full cross product of Options, in a
+// deterministic order: schemes outermost, then variants, arrays and gating.
+// Every empty axis contributes its knob's zero value, so the zero Axes
+// yields exactly []Options{{}}.
+func (a Axes) Candidates() []Options {
+	schemes := a.Schemes.Candidates()
+	variants := a.Variants.Candidates()
+	arrays := a.Arrays.Candidates()
+	gates := a.GatePeripherals.Candidates()
+	out := make([]Options, 0, len(schemes)*len(variants)*len(arrays)*len(gates))
+	for _, s := range schemes {
+		for _, v := range variants {
+			for _, n := range arrays {
+				for _, g := range gates {
+					out = append(out, Options{Scheme: s, Variant: v, Arrays: n, GatePeripherals: g})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Validate rejects axis values a Compile call would reject, so enumeration
+// errors surface before any search runs.
+func (a Axes) Validate() error {
+	for _, s := range a.Schemes {
+		switch s {
+		case VWSDK, Im2col, SMD, SDK:
+		default:
+			return fmt.Errorf("compile: axes: unknown scheme %v", s)
+		}
+	}
+	for _, v := range a.Variants {
+		switch v {
+		case core.VariantFull, core.VariantSquareTiled, core.VariantRectFullChannel:
+		default:
+			return fmt.Errorf("compile: axes: unknown variant %v", v)
+		}
+	}
+	return nil
+}

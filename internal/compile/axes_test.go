@@ -1,0 +1,105 @@
+package compile
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// TestAxesZeroValue pins the refactor's core contract: the zero Axes
+// describes exactly the single zero Options, so single-point compilation
+// semantics (and therefore compile.Key and the golden files) are untouched.
+func TestAxesZeroValue(t *testing.T) {
+	got := Axes{}.Candidates()
+	if len(got) != 1 {
+		t.Fatalf("zero Axes expands to %d candidates, want 1", len(got))
+	}
+	if got[0] != (Options{}) {
+		t.Fatalf("zero Axes expands to %+v, want the zero Options", got[0])
+	}
+	if n := (Axes{}).Count(); n != 1 {
+		t.Fatalf("zero Axes Count() = %d, want 1", n)
+	}
+}
+
+func TestAxesCrossProduct(t *testing.T) {
+	a := Axes{
+		Schemes:         SchemeAxis{VWSDK, SDK},
+		Arrays:          CountAxis{1, 4, 8},
+		GatePeripherals: BoolAxis{false, true},
+	}
+	got := a.Candidates()
+	if len(got) != a.Count() {
+		t.Fatalf("len(Candidates()) = %d, Count() = %d", len(got), a.Count())
+	}
+	if len(got) != 12 {
+		t.Fatalf("got %d candidates, want 12", len(got))
+	}
+	// Deterministic order: schemes outermost, then arrays, then gating.
+	want := []Options{
+		{Scheme: VWSDK, Arrays: 1, GatePeripherals: false},
+		{Scheme: VWSDK, Arrays: 1, GatePeripherals: true},
+		{Scheme: VWSDK, Arrays: 4, GatePeripherals: false},
+		{Scheme: VWSDK, Arrays: 4, GatePeripherals: true},
+		{Scheme: VWSDK, Arrays: 8, GatePeripherals: false},
+		{Scheme: VWSDK, Arrays: 8, GatePeripherals: true},
+		{Scheme: SDK, Arrays: 1, GatePeripherals: false},
+		{Scheme: SDK, Arrays: 1, GatePeripherals: true},
+		{Scheme: SDK, Arrays: 4, GatePeripherals: false},
+		{Scheme: SDK, Arrays: 4, GatePeripherals: true},
+		{Scheme: SDK, Arrays: 8, GatePeripherals: false},
+		{Scheme: SDK, Arrays: 8, GatePeripherals: true},
+	}
+	for i, o := range want {
+		if got[i] != o {
+			t.Errorf("candidate %d = %+v, want %+v", i, got[i], o)
+		}
+	}
+}
+
+// TestAxesDistinctKeys checks that every candidate of a normalized axis set
+// is a genuinely different compilation: the canonical cache keys of a fixed
+// request under each candidate are pairwise distinct.
+func TestAxesDistinctKeys(t *testing.T) {
+	a := Axes{
+		Schemes:         SchemeAxis{VWSDK, Im2col, SMD, SDK},
+		Arrays:          CountAxis{1, 4},
+		GatePeripherals: BoolAxis{false, true},
+	}
+	n := model.Single(core.Layer{IW: 32, IH: 32, KW: 3, KH: 3, IC: 3, OC: 16})
+	arr := core.Array{Rows: 128, Cols: 128}
+	seen := make(map[string]Options)
+	for _, o := range a.Candidates() {
+		key, err := Key(NewRequest(n, arr, o))
+		if err != nil {
+			t.Fatalf("Key(%+v): %v", o, err)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("options %+v and %+v share key %q", prev, o, key)
+		}
+		seen[key] = o
+	}
+	if len(seen) != a.Count() {
+		t.Errorf("got %d distinct keys for %d candidates", len(seen), a.Count())
+	}
+}
+
+func TestAxesValidate(t *testing.T) {
+	if err := (Axes{}).Validate(); err != nil {
+		t.Fatalf("zero Axes Validate: %v", err)
+	}
+	ok := Axes{
+		Schemes:  SchemeAxis{VWSDK, Im2col, SMD, SDK},
+		Variants: VariantAxis{core.VariantFull, core.VariantSquareTiled, core.VariantRectFullChannel},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid Axes Validate: %v", err)
+	}
+	if err := (Axes{Schemes: SchemeAxis{Scheme(99)}}).Validate(); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := (Axes{Variants: VariantAxis{core.Variant(99)}}).Validate(); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}

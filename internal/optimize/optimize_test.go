@@ -1,0 +1,327 @@
+package optimize
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func exampleSpace(t *testing.T) DesignSpace {
+	t.Helper()
+	s, err := FromJSONFile(exampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDesignsEnumeration(t *testing.T) {
+	s := exampleSpace(t)
+	designs := Designs(s)
+	want, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) != want {
+		t.Fatalf("got %d designs, want %d", len(designs), want)
+	}
+	for i, d := range designs {
+		if d.ID != i+1 {
+			t.Fatalf("design %d has ID %d", i, d.ID)
+		}
+		if len(d.Arrays) != 1 {
+			t.Fatalf("design %d assigns %d arrays for 1 group", d.ID, len(d.Arrays))
+		}
+	}
+	// Canonical order: assignment outermost, then chips, then gating.
+	first := designs[0]
+	if first.Arrays[0] != (core.Array{Rows: 64, Cols: 64}) || first.Chips != 1 || first.Gated {
+		t.Fatalf("first design = %+v", first)
+	}
+	second := designs[1]
+	if second.Chips != 1 || !second.Gated {
+		t.Fatalf("second design = %+v", second)
+	}
+}
+
+func TestDesignsHeterogeneous(t *testing.T) {
+	s := exampleSpace(t)
+	s.Groups = 2
+	s.Chips = []int{1}
+	s.Gating = []bool{false}
+	designs := Designs(s)
+	if len(designs) != 16 { // 4 arrays ^ 2 groups
+		t.Fatalf("got %d designs, want 16", len(designs))
+	}
+	// The odometer must produce genuinely heterogeneous assignments.
+	var hetero int
+	for _, d := range designs {
+		if d.Arrays[0] != d.Arrays[1] {
+			hetero++
+		}
+	}
+	if hetero != 12 {
+		t.Fatalf("got %d heterogeneous assignments, want 12", hetero)
+	}
+}
+
+// TestFrontierGolden pins the example space's frontier byte-for-byte:
+// deterministic ordering, JSON round-trip, and (via Validate inside
+// FromJSONFrontier) the absence of dominated points.
+func TestFrontierGolden(t *testing.T) {
+	f, err := New(nil).Run(context.Background(), exampleSpace(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "tinynet_frontier.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frontier differs from golden (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Round trip: parse (which re-validates invariants) and re-serialize.
+	f2, err := FromJSONFrontier(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := f2.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, got2) {
+		t.Fatal("frontier JSON round trip not byte-identical")
+	}
+	if len(f.Points) < 1 || f.Dominated < 1 {
+		t.Fatalf("degenerate golden frontier: %d points, %d dominated", len(f.Points), f.Dominated)
+	}
+}
+
+// TestFrontierProperty is the acceptance property: no returned point is
+// dominated by ANY evaluated point (not just frontier survivors), and every
+// evaluated point is either on the frontier or dominated by a frontier
+// point.
+func TestFrontierProperty(t *testing.T) {
+	s := exampleSpace(t)
+	o := New(nil)
+	ctx := context.Background()
+	f, err := o.Run(ctx, s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []FrontierPoint
+	for _, d := range Designs(s) {
+		p, err := o.Evaluate(ctx, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, p)
+	}
+	if len(all) != f.Evaluated {
+		t.Fatalf("evaluated %d points, frontier says %d", len(all), f.Evaluated)
+	}
+	onFrontier := make(map[int]bool, len(f.Points))
+	for _, p := range f.Points {
+		onFrontier[p.ID] = true
+	}
+	for _, p := range f.Points {
+		for _, q := range all {
+			if q.ID != p.ID && q.Metrics.Dominates(p.Metrics) && !p.Metrics.Dominates(q.Metrics) {
+				t.Errorf("frontier point %d strictly dominated by evaluated point %d", p.ID, q.ID)
+			}
+		}
+	}
+	for _, q := range all {
+		if onFrontier[q.ID] {
+			continue
+		}
+		dominated := false
+		for _, p := range f.Points {
+			if p.Metrics.Dominates(q.Metrics) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("non-frontier point %d is not dominated by any frontier point", q.ID)
+		}
+	}
+}
+
+// TestMemoizedReuse proves the tentpole's sharing claim with engine.Stats:
+// across all design points, each distinct (layer, array) cell runs the
+// underlying search exactly once; every other search is a cache hit or an
+// in-flight join.
+func TestMemoizedReuse(t *testing.T) {
+	s := exampleSpace(t)
+	s.Arrays = []core.Array{{Rows: 64, Cols: 64}, {Rows: 128, Cols: 128}}
+	s.Normalize()
+
+	eng := engine.New()
+	o := New(compile.New(eng))
+	f, err := o.Run(context.Background(), s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := len(s.Network.Layers)          // 4 distinct layer shapes
+	points := f.Evaluated                    // 2 arrays × 2 chips × 2 gating = 8
+	distinct := layers * len(s.Arrays)       // 8 distinct (layer, array) cells
+	totalSearches := uint64(layers * points) // 32 searches issued
+	st := eng.Stats()
+	if points != 8 {
+		t.Fatalf("evaluated %d points, want 8", points)
+	}
+	if st.Searches != totalSearches {
+		t.Fatalf("engine served %d searches, want %d", st.Searches, totalSearches)
+	}
+	if st.CacheMisses != uint64(distinct) {
+		t.Fatalf("engine ran %d real searches for %d distinct (layer, array) cells", st.CacheMisses, distinct)
+	}
+	if got := st.CacheHits + st.FlightDedupes; got != totalSearches-uint64(distinct) {
+		t.Fatalf("cache hits + flight dedupes = %d, want %d", got, totalSearches-uint64(distinct))
+	}
+}
+
+// TestGatingDominance pins the energy model's gating guarantee as a frontier
+// fact: an ungated point has the same cycles and area as its gated twin but
+// strictly more energy, so spaces with gating [false, true] always produce
+// dominated points.
+func TestGatingDominance(t *testing.T) {
+	s := exampleSpace(t)
+	o := New(nil)
+	ctx := context.Background()
+	designs := Designs(s)
+	byID := make(map[int]Design, len(designs))
+	for _, d := range designs {
+		byID[d.ID] = d
+	}
+	for _, d := range designs {
+		if d.Gated {
+			continue
+		}
+		var twin *Design
+		for _, e := range designs {
+			if e.Gated && e.Chips == d.Chips && e.Arrays[0] == d.Arrays[0] {
+				twin = &e
+				break
+			}
+		}
+		if twin == nil {
+			t.Fatalf("design %d has no gated twin", d.ID)
+		}
+		pu, err := o.Evaluate(ctx, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg, err := o.Evaluate(ctx, s, *twin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pg.Metrics.Cycles != pu.Metrics.Cycles || pg.Metrics.AreaCells != pu.Metrics.AreaCells {
+			t.Fatalf("gated twin of %d changes cycles/area: %+v vs %+v", d.ID, pg.Metrics, pu.Metrics)
+		}
+		if pg.Metrics.EnergyJ >= pu.Metrics.EnergyJ {
+			t.Fatalf("gated twin of %d not strictly cheaper: %g >= %g", d.ID, pg.Metrics.EnergyJ, pu.Metrics.EnergyJ)
+		}
+		if !pg.Metrics.Dominates(pu.Metrics) {
+			t.Fatalf("gated twin of %d does not dominate it", d.ID)
+		}
+	}
+}
+
+// TestEvents checks the stream is a faithful replay of the frontier: admits
+// minus evicts reproduce the final point set, rejects and evicts carry the
+// dominating point, and counts agree.
+func TestEvents(t *testing.T) {
+	s := exampleSpace(t)
+	var events []Event
+	f, err := New(nil).Run(context.Background(), s, func(e Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make(map[int]*FrontierPoint)
+	admitted := make(map[int]bool)
+	var admits, evicts, rejects int
+	for _, e := range events {
+		switch e.Kind {
+		case "admit":
+			if e.Point == nil || e.Point.ID != e.ID || e.By != 0 {
+				t.Fatalf("malformed admit %+v", e)
+			}
+			live[e.ID] = e.Point
+			admitted[e.ID] = true
+			admits++
+		case "evict":
+			if !admitted[e.ID] || live[e.ID] == nil {
+				t.Fatalf("evict of never-admitted point %d", e.ID)
+			}
+			if e.By == 0 || e.Point != nil {
+				t.Fatalf("malformed evict %+v", e)
+			}
+			delete(live, e.ID)
+			evicts++
+		case "reject":
+			if e.By == 0 || e.Point == nil || e.Point.ID != e.ID {
+				t.Fatalf("malformed reject %+v", e)
+			}
+			rejects++
+		default:
+			t.Fatalf("unknown event kind %q", e.Kind)
+		}
+	}
+	if admits != f.Admitted || evicts != f.Evicted || rejects != f.Rejected {
+		t.Fatalf("event counts (%d, %d, %d) != frontier (%d, %d, %d)",
+			admits, evicts, rejects, f.Admitted, f.Evicted, f.Rejected)
+	}
+	if len(live) != len(f.Points) {
+		t.Fatalf("replay leaves %d live points, frontier has %d", len(live), len(f.Points))
+	}
+	for _, p := range f.Points {
+		got, ok := live[p.ID]
+		if !ok {
+			t.Fatalf("frontier point %d missing from replay", p.ID)
+		}
+		if got.Metrics != p.Metrics {
+			t.Fatalf("replayed point %d metrics %+v != %+v", p.ID, got.Metrics, p.Metrics)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := New(nil).Run(ctx, exampleSpace(t), nil); err == nil {
+		t.Fatal("cancelled Run returned no error")
+	}
+}
+
+func TestRunInvalidSpace(t *testing.T) {
+	if _, err := New(nil).Run(context.Background(), DesignSpace{}, nil); err == nil {
+		t.Fatal("empty space accepted")
+	}
+}

@@ -1,0 +1,317 @@
+// Package optimize searches the hardware design space itself: instead of
+// "what does this network cost on this chip?" (compile) it answers "which
+// chip should you build for this network?". A DesignSpace enumerates
+// candidate hardware configurations — array geometries assigned per layer
+// group, chips per bank, gated or full-array peripherals — and the Optimizer
+// compiles every design point through the existing compile.Compiler, scores
+// it on (total cycles, total energy, total cell area) and keeps only the
+// non-dominated Pareto frontier, pruning dominated points incrementally as
+// the enumeration proceeds.
+//
+// Design points deliberately share the compile pipeline's engine: two points
+// that assign the same array to a group containing the same layer shape hit
+// the engine's memoized result, so each distinct (layer, array) cell is
+// searched exactly once no matter how many design points contain it. The
+// enumeration is sequential and its order deterministic, which fixes the
+// frontier's tie handling: when two points score identically, the
+// first-enumerated one is admitted and the later one is rejected as
+// dominated.
+package optimize
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// MaxPoints bounds the number of design points one space may enumerate,
+// mirroring the sweep surface's cell bound: len(Arrays)^Groups × len(Chips)
+// × len(Gating) must not exceed it.
+const MaxPoints = 4096
+
+// DesignSpace describes the hardware configurations to search for one
+// network. Build one with FromJSON (the wire format below) or construct it
+// directly and call Normalize before use.
+//
+// The JSON form mirrors the network-spec format:
+//
+//	{
+//	  "name": "tinynet-codesign",
+//	  "network": "VGG-13",            // zoo name, or an inline network spec
+//	  "arrays": ["64x64", "128x128"], // "RxC" strings or {"rows":..,"cols":..}
+//	  "chips": [1, 4],                // crossbars per layer-group bank
+//	  "gating": [false, true],        // peripheral gating on/off
+//	  "layer_groups": 2               // heterogeneous array assignment granularity
+//	}
+//
+// "arrays" and "network" are required. "chips" defaults to [1], "gating" to
+// [false], "layer_groups" to 1 (one array for the whole network). Unknown
+// fields are rejected.
+type DesignSpace struct {
+	// Name labels the space in reports.
+	Name string
+
+	// Network is the CNN the hardware is being designed for.
+	Network model.Network
+
+	// Arrays are the candidate crossbar geometries. Each layer group is
+	// assigned one of them independently (heterogeneous hardware), so the
+	// assignment space is Arrays^Groups.
+	Arrays []core.Array
+
+	// Chips are the candidate crossbar counts per layer-group bank.
+	Chips []int
+
+	// Gating are the candidate peripheral models: false = full-array
+	// conversions, true = gated on the programmed tile footprint.
+	Gating []bool
+
+	// Groups is the number of contiguous layer groups the network is split
+	// into; each group gets its own array geometry and bank. 0 is
+	// normalized to 1.
+	Groups int
+}
+
+// spaceJSON is the wire form of a DesignSpace.
+type spaceJSON struct {
+	Name    string            `json:"name,omitempty"`
+	Network json.RawMessage   `json:"network"`
+	Arrays  []json.RawMessage `json:"arrays"`
+	Chips   []int             `json:"chips,omitempty"`
+	Gating  []bool            `json:"gating,omitempty"`
+	Groups  int               `json:"layer_groups,omitempty"`
+}
+
+// arrayJSON is the object form of one "arrays" element.
+type arrayJSON struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+}
+
+// parseArrayRef parses one "arrays" element: an "RxC" string or a
+// {"rows","cols"} object.
+func parseArrayRef(raw json.RawMessage) (core.Array, error) {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return core.Array{}, fmt.Errorf("optimize: empty array reference")
+	}
+	switch trimmed[0] {
+	case '"':
+		var s string
+		if err := json.Unmarshal(trimmed, &s); err != nil {
+			return core.Array{}, fmt.Errorf("optimize: parse array: %w", err)
+		}
+		var a core.Array
+		if n, err := fmt.Sscanf(s, "%dx%d", &a.Rows, &a.Cols); err != nil || n != 2 {
+			return core.Array{}, fmt.Errorf("optimize: array %q is not RxC", s)
+		}
+		return a, nil
+	case '{':
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		var a arrayJSON
+		if err := dec.Decode(&a); err != nil {
+			return core.Array{}, fmt.Errorf("optimize: parse array: %w", err)
+		}
+		return core.Array{Rows: a.Rows, Cols: a.Cols}, nil
+	default:
+		return core.Array{}, fmt.Errorf("optimize: array reference must be an \"RxC\" string or a {rows, cols} object")
+	}
+}
+
+// FromJSON parses and validates a design-space spec. The returned space is
+// normalized: arrays deduplicated and sorted by (rows, cols), chips and
+// gating deduplicated and sorted, defaults applied — so equal spaces have
+// equal parsed forms and ToJSON(FromJSON(x)) is a fixed point.
+func FromJSON(data []byte) (DesignSpace, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var spec spaceJSON
+	if err := dec.Decode(&spec); err != nil {
+		return DesignSpace{}, fmt.Errorf("optimize: parse design space: %w", err)
+	}
+	if len(spec.Network) == 0 {
+		return DesignSpace{}, fmt.Errorf("optimize: design space %q has no network", spec.Name)
+	}
+	net, err := model.ResolveSpec(spec.Network)
+	if err != nil {
+		return DesignSpace{}, fmt.Errorf("optimize: design space %q: %w", spec.Name, err)
+	}
+	s := DesignSpace{
+		Name:    spec.Name,
+		Network: net,
+		Chips:   spec.Chips,
+		Gating:  spec.Gating,
+		Groups:  spec.Groups,
+	}
+	for _, raw := range spec.Arrays {
+		a, err := parseArrayRef(raw)
+		if err != nil {
+			return DesignSpace{}, err
+		}
+		s.Arrays = append(s.Arrays, a)
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return DesignSpace{}, err
+	}
+	return s, nil
+}
+
+// FromJSONFile reads and parses a design-space spec file.
+func FromJSONFile(path string) (DesignSpace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return DesignSpace{}, fmt.Errorf("optimize: read design space: %w", err)
+	}
+	s, err := FromJSON(data)
+	if err != nil {
+		return DesignSpace{}, fmt.Errorf("optimize: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Normalize canonicalizes the space in place: axes are deduplicated and
+// sorted (arrays by rows then cols, chips ascending, false before true) and
+// absent axes get their defaults (chips [1], gating [false], one group).
+// Normalization is idempotent, which makes ToJSON∘FromJSON a fixed point.
+func (s *DesignSpace) Normalize() {
+	sort.Slice(s.Arrays, func(i, j int) bool {
+		if s.Arrays[i].Rows != s.Arrays[j].Rows {
+			return s.Arrays[i].Rows < s.Arrays[j].Rows
+		}
+		return s.Arrays[i].Cols < s.Arrays[j].Cols
+	})
+	s.Arrays = dedupe(s.Arrays)
+	if len(s.Chips) == 0 {
+		s.Chips = []int{1}
+	}
+	sort.Ints(s.Chips)
+	s.Chips = dedupe(s.Chips)
+	if len(s.Gating) == 0 {
+		s.Gating = []bool{false}
+	}
+	sort.Slice(s.Gating, func(i, j int) bool { return !s.Gating[i] && s.Gating[j] })
+	s.Gating = dedupe(s.Gating)
+	if s.Groups == 0 {
+		s.Groups = 1
+	}
+}
+
+// dedupe removes adjacent duplicates from a sorted slice.
+func dedupe[T comparable](in []T) []T {
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Validate checks a normalized space: valid network, at least one valid
+// array, positive chip counts, group count within the layer count, and a
+// total point count within MaxPoints.
+func (s DesignSpace) Validate() error {
+	if err := s.Network.Validate(); err != nil {
+		return err
+	}
+	if len(s.Arrays) == 0 {
+		return fmt.Errorf("optimize: design space %q has no candidate arrays", s.Name)
+	}
+	for _, a := range s.Arrays {
+		if err := a.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Chips {
+		if c < 1 {
+			return fmt.Errorf("optimize: design space %q: non-positive chip count %d", s.Name, c)
+		}
+	}
+	if s.Groups < 1 || s.Groups > len(s.Network.Layers) {
+		return fmt.Errorf("optimize: design space %q: %d layer groups for %d layers",
+			s.Name, s.Groups, len(s.Network.Layers))
+	}
+	n, err := s.Points()
+	if err != nil {
+		return err
+	}
+	if n > MaxPoints {
+		return fmt.Errorf("optimize: design space %q enumerates %d points, limit %d", s.Name, n, MaxPoints)
+	}
+	return nil
+}
+
+// Points returns the number of design points the space enumerates:
+// len(Arrays)^Groups × len(Chips) × len(Gating). It errors instead of
+// overflowing when the assignment space explodes.
+func (s DesignSpace) Points() (int, error) {
+	n := 1
+	for g := 0; g < s.groups(); g++ {
+		n *= len(s.Arrays)
+		if n > MaxPoints {
+			return 0, fmt.Errorf("optimize: design space %q: %d^%d array assignments exceed limit %d",
+				s.Name, len(s.Arrays), s.groups(), MaxPoints)
+		}
+	}
+	n *= max(len(s.Chips), 1) * max(len(s.Gating), 1)
+	return n, nil
+}
+
+func (s DesignSpace) groups() int {
+	if s.Groups < 1 {
+		return 1
+	}
+	return s.Groups
+}
+
+// LayerGroups splits the network's layers into Groups contiguous,
+// near-equal-size slices: group i is layers[⌊iL/G⌋ : ⌊(i+1)L/G⌋].
+func (s DesignSpace) LayerGroups() [][]model.ConvLayer {
+	l, g := len(s.Network.Layers), s.groups()
+	out := make([][]model.ConvLayer, g)
+	for i := 0; i < g; i++ {
+		out[i] = s.Network.Layers[i*l/g : (i+1)*l/g]
+	}
+	return out
+}
+
+// ToJSON serializes the space as a spec FromJSON accepts. The network is
+// always inlined (never a zoo reference) and the axes are written in
+// normalized form, so parsing the output yields the same space and
+// re-serializing it yields the same bytes.
+func (s DesignSpace) ToJSON() ([]byte, error) {
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := model.ToJSON(s.Network)
+	if err != nil {
+		return nil, err
+	}
+	spec := spaceJSON{
+		Name:    s.Name,
+		Network: json.RawMessage(bytes.TrimSpace(net)),
+		Chips:   s.Chips,
+		Gating:  s.Gating,
+		Groups:  s.Groups,
+	}
+	for _, a := range s.Arrays {
+		ref, err := json.Marshal(a.String())
+		if err != nil {
+			return nil, err
+		}
+		spec.Arrays = append(spec.Arrays, ref)
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("optimize: marshal design space: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,184 @@
+package optimize
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const exampleSpec = "../../examples/designspaces/tinynet.json"
+
+func TestFromJSONExample(t *testing.T) {
+	s, err := FromJSONFile(exampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "tinynet-codesign" || s.Network.Name != "TinyNet" {
+		t.Fatalf("unexpected names: %q / %q", s.Name, s.Network.Name)
+	}
+	wantArrays := []core.Array{{Rows: 64, Cols: 64}, {Rows: 128, Cols: 128}, {Rows: 256, Cols: 256}, {Rows: 512, Cols: 512}}
+	if len(s.Arrays) != len(wantArrays) {
+		t.Fatalf("got %d arrays, want %d", len(s.Arrays), len(wantArrays))
+	}
+	for i, a := range wantArrays {
+		if s.Arrays[i] != a {
+			t.Errorf("array %d = %v, want %v", i, s.Arrays[i], a)
+		}
+	}
+	if n, err := s.Points(); err != nil || n != 16 {
+		t.Fatalf("Points() = %d, %v; want 16", n, err)
+	}
+}
+
+func TestFromJSONZooAndDefaults(t *testing.T) {
+	s, err := FromJSON([]byte(`{"network": "VGG-13", "arrays": [{"rows": 512, "cols": 512}, "256x256", "256x256"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Network.Name != "VGG-13" {
+		t.Fatalf("network = %q, want VGG-13", s.Network.Name)
+	}
+	// Defaults applied, arrays deduplicated and sorted.
+	if len(s.Arrays) != 2 || s.Arrays[0] != (core.Array{Rows: 256, Cols: 256}) {
+		t.Fatalf("arrays = %v", s.Arrays)
+	}
+	if len(s.Chips) != 1 || s.Chips[0] != 1 || len(s.Gating) != 1 || s.Gating[0] || s.Groups != 1 {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"no network":      `{"arrays": ["64x64"]}`,
+		"no arrays":       `{"network": "VGG-13"}`,
+		"empty arrays":    `{"network": "VGG-13", "arrays": []}`,
+		"bad array":       `{"network": "VGG-13", "arrays": ["64by64"]}`,
+		"zero array":      `{"network": "VGG-13", "arrays": ["0x64"]}`,
+		"bad chips":       `{"network": "VGG-13", "arrays": ["64x64"], "chips": [0]}`,
+		"too many groups": `{"network": "VGG-13", "arrays": ["64x64"], "layer_groups": 99}`,
+		"unknown field":   `{"network": "VGG-13", "arrays": ["64x64"], "bogus": 1}`,
+		"unknown zoo":     `{"network": "NoSuchNet", "arrays": ["64x64"]}`,
+		"point explosion": `{"network": "VGG-13", "arrays": ["1x1","2x2","3x3","4x4","5x5","6x6","7x7","8x8"], "layer_groups": 5}`,
+	}
+	for name, spec := range cases {
+		if _, err := FromJSON([]byte(spec)); err == nil {
+			t.Errorf("%s: accepted %s", name, spec)
+		}
+	}
+}
+
+func TestToJSONFixedPoint(t *testing.T) {
+	data, err := os.ReadFile(exampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := s.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FromJSON(out1)
+	if err != nil {
+		t.Fatalf("reparse serialized space: %v", err)
+	}
+	out2, err := s2.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1, out2) {
+		t.Fatalf("ToJSON not a fixed point:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestLayerGroups(t *testing.T) {
+	s, err := FromJSONFile(exampleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for groups := 1; groups <= len(s.Network.Layers); groups++ {
+		s.Groups = groups
+		parts := s.LayerGroups()
+		if len(parts) != groups {
+			t.Fatalf("groups=%d: got %d parts", groups, len(parts))
+		}
+		var total int
+		for _, p := range parts {
+			if len(p) == 0 {
+				t.Fatalf("groups=%d: empty group", groups)
+			}
+			total += len(p)
+		}
+		if total != len(s.Network.Layers) {
+			t.Fatalf("groups=%d: %d layers covered of %d", groups, total, len(s.Network.Layers))
+		}
+		// Contiguity: concatenating the parts reproduces the layer order.
+		i := 0
+		for _, p := range parts {
+			for _, cl := range p {
+				if cl.Name != s.Network.Layers[i].Name {
+					t.Fatalf("groups=%d: layer %d is %q, want %q", groups, i, cl.Name, s.Network.Layers[i].Name)
+				}
+				i++
+			}
+		}
+	}
+}
+
+func FuzzDesignSpaceFromJSON(f *testing.F) {
+	data, err := os.ReadFile(exampleSpec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(data))
+	f.Add(`{"network": "VGG-13", "arrays": ["512x512"]}`)
+	f.Add(`{"network": "VGG-13", "arrays": ["64x64", "512x512"], "chips": [1, 2, 4], "gating": [true], "layer_groups": 2}`)
+	f.Add(`{"arrays": []}`)
+	f.Add(`{"network": {"name": "x"}, "arrays": ["64x64"]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := FromJSON([]byte(in))
+		if err != nil {
+			return
+		}
+		// Accepted specs round-trip to a fixed point.
+		out1, err := s.ToJSON()
+		if err != nil {
+			t.Fatalf("accepted spec fails ToJSON: %v\ninput: %s", err, in)
+		}
+		s2, err := FromJSON(out1)
+		if err != nil {
+			t.Fatalf("serialized space rejected: %v\n%s", err, out1)
+		}
+		out2, err := s2.ToJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1, out2) {
+			t.Fatalf("not a fixed point:\n%s\nvs\n%s", out1, out2)
+		}
+		if n, err := s.Points(); err != nil || n < 1 || n > MaxPoints {
+			t.Fatalf("accepted space has bad point count %d, %v", n, err)
+		}
+	})
+}
+
+func TestParseArrayRef(t *testing.T) {
+	for _, bad := range []string{`""`, `"x"`, `"64"`, `"64x"`, `"ax b"`, `[1,2]`, `true`, `{"rows": 64, "cols": 64, "x": 1}`} {
+		if _, err := parseArrayRef([]byte(bad)); err == nil {
+			t.Errorf("parseArrayRef(%s) accepted", bad)
+		}
+	}
+	a, err := parseArrayRef([]byte(`"128x64"`))
+	if err != nil || a != (core.Array{Rows: 128, Cols: 64}) {
+		t.Fatalf("parseArrayRef string: %v, %v", a, err)
+	}
+	a, err = parseArrayRef([]byte(`{"rows": 32, "cols": 16}`))
+	if err != nil || a != (core.Array{Rows: 32, Cols: 16}) {
+		t.Fatalf("parseArrayRef object: %v, %v", a, err)
+	}
+}

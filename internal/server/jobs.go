@@ -1,6 +1,6 @@
-// The asynchronous job surface: POST /v1/jobs accepts a compile or sweep
-// request and returns a job snapshot immediately; GET /v1/jobs/{id} reports
-// state and per-cell progress (monotone — cells only ever accumulate);
+// The asynchronous job surface: POST /v1/jobs accepts a compile, sweep or
+// optimize request and returns a job snapshot immediately; GET /v1/jobs/{id}
+// reports state and per-cell progress (monotone — cells only ever accumulate);
 // DELETE /v1/jobs/{id} cancels the job's context, which stops cell dispatch
 // and aborts in-flight searches at their next checkpoint. Jobs run through
 // exactly the same executor as the synchronous endpoints (compilePlan and
@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/compile"
+	"repro/internal/optimize"
 )
 
 // Job states. A job is live in stateQueued and stateRunning and terminal in
@@ -38,7 +39,7 @@ const (
 // are set at creation; everything below mu is owned by it.
 type job struct {
 	id      string
-	kind    string // "compile" or "sweep"
+	kind    string // "compile", "sweep" or "optimize"
 	created time.Time
 	cancel  context.CancelFunc
 
@@ -46,10 +47,12 @@ type job struct {
 	state     string
 	errMsg    string
 	finished  time.Time // terminal transition, for TTL garbage collection
-	total     int       // cells in the request (1 for compile)
+	total     int       // cells in the request (1 for compile, design points for optimize)
+	completed int       // evaluated design points (optimize jobs)
 	results   []sweepSummary
 	plan      []byte // serialized NetworkPlan (compile jobs)
 	planCache bool   // the plan came from the cache
+	frontier  []byte // serialized optimize.Frontier (optimize jobs)
 }
 
 // jobSnapshot is the wire form of a job. Results and Plan are only
@@ -66,6 +69,7 @@ type jobSnapshot struct {
 	Results        []sweepSummary  `json:"results,omitempty"`
 	Plan           json.RawMessage `json:"plan,omitempty"`
 	PlanCached     bool            `json:"plan_cached,omitempty"`
+	Frontier       json.RawMessage `json:"frontier,omitempty"`
 }
 
 // snapshot captures the job's current state; withPayload additionally
@@ -88,10 +92,14 @@ func (j *job) snapshot(withPayload bool) jobSnapshot {
 	if j.kind == kindCompile && j.plan != nil {
 		snap.CellsCompleted = 1
 	}
+	if j.kind == kindOptimize {
+		snap.CellsCompleted = j.completed
+	}
 	if withPayload {
 		snap.Results = append([]sweepSummary(nil), j.results...)
 		snap.Plan = j.plan
 		snap.PlanCached = j.planCache
+		snap.Frontier = j.frontier
 	}
 	return snap
 }
@@ -117,6 +125,21 @@ func (j *job) setPlan(data []byte, cached bool) {
 	j.mu.Lock()
 	j.plan = data
 	j.planCache = cached
+	j.mu.Unlock()
+}
+
+// addProgress bumps an optimize job's evaluated-point counter (monotone,
+// like sweep results).
+func (j *job) addProgress() {
+	j.mu.Lock()
+	j.completed++
+	j.mu.Unlock()
+}
+
+// setFrontier records an optimize job's serialized frontier.
+func (j *job) setFrontier(data []byte) {
+	j.mu.Lock()
+	j.frontier = data
 	j.mu.Unlock()
 }
 
@@ -271,15 +294,18 @@ func (js *jobSet) stats() JobStats {
 
 // Job kinds.
 const (
-	kindCompile = "compile"
-	kindSweep   = "sweep"
+	kindCompile  = "compile"
+	kindSweep    = "sweep"
+	kindOptimize = "optimize"
 )
 
-// jobRequest is the POST /v1/jobs body: exactly one of the two members,
-// each in the same form its synchronous endpoint accepts.
+// jobRequest is the POST /v1/jobs body: exactly one of the three members,
+// each in the same form its synchronous endpoint accepts (the optimize
+// member is a raw design-space spec).
 type jobRequest struct {
-	Compile *compileRequest `json:"compile"`
-	Sweep   *sweepRequest   `json:"sweep"`
+	Compile  *compileRequest  `json:"compile"`
+	Sweep    *sweepRequest    `json:"sweep"`
+	Optimize *json.RawMessage `json:"optimize"`
 }
 
 // jobContext derives a job's execution context: rooted in the process
@@ -305,18 +331,26 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
+	given := 0
+	for _, set := range []bool{req.Compile != nil, req.Sweep != nil, req.Optimize != nil} {
+		if set {
+			given++
+		}
+	}
 	switch {
-	case req.Compile != nil && req.Sweep != nil:
+	case given > 1:
 		writeError(w, errorf(http.StatusUnprocessableEntity,
-			`a job is either "compile" or "sweep", not both`))
+			`a job is exactly one of "compile", "sweep" or "optimize"`))
 		return
 	case req.Compile != nil:
 		s.createCompileJob(w, req.Compile)
 	case req.Sweep != nil:
 		s.createSweepJob(w, req.Sweep)
+	case req.Optimize != nil:
+		s.createOptimizeJob(w, *req.Optimize)
 	default:
 		writeError(w, errorf(http.StatusUnprocessableEntity,
-			`missing job body: give "compile" or "sweep"`))
+			`missing job body: give "compile", "sweep" or "optimize"`))
 	}
 }
 
@@ -378,6 +412,58 @@ func (s *Server) createSweepJob(w http.ResponseWriter, body *sweepRequest) {
 		defer func() { <-s.sweepSem }()
 		j.setRunning()
 		j.finish(s.runSweep(ctx, cells, j.addResult))
+	}()
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": j.snapshot(false)})
+}
+
+// createOptimizeJob validates the design space eagerly (a 422 at submission
+// for a spec the synchronous endpoint would reject) and runs the search in
+// the background through the same optimizer, counting progress per evaluated
+// design point; the finished job's detail snapshot carries the serialized
+// frontier.
+func (s *Server) createOptimizeJob(w http.ResponseWriter, raw json.RawMessage) {
+	space, herr := resolveOptimizeSpace(raw)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	points, err := space.Points()
+	if err != nil {
+		writeError(w, errorf(http.StatusUnprocessableEntity, "%v", err))
+		return
+	}
+	ctx, cancel := s.jobContext()
+	j, herr := s.jobs.add(kindOptimize, points, cancel)
+	if herr != nil {
+		cancel()
+		writeError(w, herr)
+		return
+	}
+	go func() {
+		// Like a sweep job: one sweep-stream unit, waited for ("queued")
+		// rather than rejected.
+		select {
+		case s.sweepSem <- struct{}{}:
+		case <-ctx.Done():
+			j.finish(ctx.Err())
+			return
+		}
+		defer func() { <-s.sweepSem }()
+		j.setRunning()
+		s.optRuns.Add(1)
+		f, err := s.opt.Run(ctx, space, func(e optimize.Event) {
+			s.countEvent(e)
+			if e.Kind == "admit" || e.Kind == "reject" {
+				j.addProgress()
+			}
+		})
+		if err == nil {
+			var data []byte
+			if data, err = f.ToJSON(); err == nil {
+				j.setFrontier(data)
+			}
+		}
+		j.finish(err)
 	}()
 	writeJSON(w, http.StatusAccepted, map[string]any{"job": j.snapshot(false)})
 }

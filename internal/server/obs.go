@@ -144,6 +144,17 @@ func (s *Server) initMetrics() {
 			func() uint64 { return s.peerFailed.Load() })
 	}
 
+	r.CounterFunc("vwsdk_optimize_runs_total", "Pareto-frontier optimize searches started (streams and jobs).",
+		func() uint64 { return s.optRuns.Load() })
+	r.CounterFunc("vwsdk_optimize_points_evaluated_total", "Design points scored by optimize searches.",
+		func() uint64 { return s.optPoints.Load() })
+	r.CounterFunc("vwsdk_optimize_points_admitted_total", "Design points admitted to a Pareto frontier.",
+		func() uint64 { return s.optAdmitted.Load() })
+	r.CounterFunc("vwsdk_optimize_points_evicted_total", "Admitted points later evicted by a dominating admit.",
+		func() uint64 { return s.optEvicted.Load() })
+	r.CounterFunc("vwsdk_optimize_points_dominated_total", "Design points pruned as dominated (rejected on arrival plus evicted).",
+		func() uint64 { return s.optRejected.Load() + s.optEvicted.Load() })
+
 	r.CounterFunc("vwsdk_jobs_created_total", "Jobs accepted by POST /v1/jobs.",
 		func() uint64 { return s.jobs.created.Load() })
 	r.CounterFunc("vwsdk_jobs_cancelled_total", "Live jobs cancelled by DELETE.",

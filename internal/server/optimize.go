@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+	"repro/internal/optimize"
+)
+
+// The POST /v1/optimize surface: the body is a design-space spec in the
+// optimize.FromJSON wire format (network, candidate arrays, chip counts,
+// gating, layer groups) and the response is an NDJSON stream of frontier
+// events — one line per admitted, evicted or rejected design point, as the
+// enumeration makes each decision — terminated by one "frontier" line
+// carrying the final Pareto frontier. Optimize runs are admitted through the
+// sweep-stream semaphore (they are long fan-out requests of the same shape)
+// and run through the server's shared compiler, so every design point's
+// layer searches land in the same engine memoization the compile and sweep
+// endpoints warm.
+
+// optimizeFinal is the stream's terminal line.
+type optimizeFinal struct {
+	Kind     string             `json:"event"`
+	Frontier *optimize.Frontier `json:"frontier"`
+}
+
+// optimizeError is the stream's error line, appended when the search is cut
+// short after the 200 is already committed.
+type optimizeError struct {
+	Kind  string `json:"event"`
+	Error string `json:"error"`
+}
+
+// resolveOptimizeSpace parses the raw body bytes as a design space; failures
+// are 422s (the body was valid JSON — 400 was decodeJSONBody's job — but
+// describes a space that cannot be searched).
+func resolveOptimizeSpace(raw json.RawMessage) (optimize.DesignSpace, *httpError) {
+	if len(raw) == 0 {
+		return optimize.DesignSpace{}, errorf(http.StatusUnprocessableEntity,
+			`missing design space: give {"network", "arrays", ...}`)
+	}
+	space, err := optimize.FromJSON(raw)
+	if err != nil {
+		return optimize.DesignSpace{}, errorf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	return space, nil
+}
+
+// countEvent feeds one frontier event into the optimize counters.
+func (s *Server) countEvent(e optimize.Event) {
+	switch e.Kind {
+	case "admit":
+		s.optPoints.Add(1)
+		s.optAdmitted.Add(1)
+	case "reject":
+		s.optPoints.Add(1)
+		s.optRejected.Add(1)
+	case "evict":
+		s.optEvicted.Add(1)
+	}
+}
+
+// handleOptimize streams one optimize search as NDJSON frontier events.
+// Admission mirrors handleSweep: one sweep-stream unit per run, beyond the
+// pool a structured 503. A search cut short by the per-request deadline (or
+// a dropped client) appends one final error line when the connection still
+// exists; a complete search always ends with the "frontier" line.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var raw json.RawMessage
+	if herr := decodeJSONBody(w, r, s.maxBody, &raw); herr != nil {
+		writeError(w, herr)
+		return
+	}
+	space, herr := resolveOptimizeSpace(raw)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	select {
+	case s.sweepSem <- struct{}{}:
+		defer func() { <-s.sweepSem }()
+	default:
+		s.rejected.Add(1)
+		writeError(w, errorf(http.StatusServiceUnavailable,
+			"server at capacity: all %d concurrent optimize/sweep streams are taken", cap(s.sweepSem)))
+		return
+	}
+	s.optRuns.Add(1)
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if r.URL.RawQuery != "" && r.URL.Query().Get("trace") == "1" {
+		// The optimize span tree lands on the trace the run records; the
+		// stream itself stays NDJSON, so tracing only adds span recording.
+		ctx = obs.NewContext(ctx, obs.New("optimize"))
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	lb := linePool.Get().(*lineBuf)
+	defer linePool.Put(lb)
+	broken := false
+	f, err := s.opt.Run(ctx, space, func(e optimize.Event) {
+		s.countEvent(e)
+		if broken {
+			return
+		}
+		if lb.write(w, e) != nil {
+			broken = true
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if err != nil {
+		// The 200 is committed; a still-connected client learns the stream is
+		// incomplete (deadline, cancellation or a failing design point) from
+		// one final error line instead of a silent truncation.
+		if !broken {
+			lb.write(w, optimizeError{Kind: "error", Error: fmt.Sprintf("optimize aborted: %v", err)})
+		}
+		return
+	}
+	if !broken {
+		lb.write(w, optimizeFinal{Kind: "frontier", Frontier: f})
+	}
+}

@@ -27,7 +27,8 @@
 //
 //	POST   /v1/compile    {network, array, options} → serialized compile.NetworkPlan
 //	POST   /v1/sweep      {networks, arrays, variants, options} → NDJSON plan summaries, streamed per cell
-//	POST   /v1/jobs       {compile: {...}} or {sweep: {...}} → job snapshot (202)
+//	POST   /v1/optimize   design-space spec → NDJSON frontier events, then the final Pareto frontier
+//	POST   /v1/jobs       {compile: {...}}, {sweep: {...}} or {optimize: {...}} → job snapshot (202)
 //	GET    /v1/jobs       job listing (without payloads)
 //	GET    /v1/jobs/{id}  job snapshot with progress and results
 //	DELETE /v1/jobs/{id}  cancel the job
@@ -63,6 +64,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/optimize"
 	"repro/internal/peer"
 )
 
@@ -154,6 +156,7 @@ type Server struct {
 
 	store compile.PlanStore
 	peers *peer.Client
+	opt   *optimize.Optimizer
 
 	requests    atomic.Uint64
 	inFlight    atomic.Int64
@@ -161,6 +164,12 @@ type Server struct {
 	peerProxied atomic.Uint64
 	peerFailed  atomic.Uint64
 	hist        latencyHist
+
+	optRuns     atomic.Uint64 // optimize runs started (streams + jobs)
+	optPoints   atomic.Uint64 // design points evaluated (admits + rejects)
+	optAdmitted atomic.Uint64
+	optEvicted  atomic.Uint64
+	optRejected atomic.Uint64
 
 	started   time.Time
 	metrics   *obs.Registry
@@ -213,6 +222,9 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		started:  time.Now(),
 	}
+	// The optimizer compiles through the server's shared compiler, so design
+	// points reuse the same engine memoization every other endpoint warms.
+	s.opt = optimize.New(s.comp)
 	s.initMetrics()
 	// Every path is registered for all methods and dispatched through
 	// methods{}, so method mismatches get the structured 405 below instead
@@ -220,6 +232,7 @@ func New(cfg Config) *Server {
 	// into structured 404s.
 	s.mux.Handle("/v1/compile", methods{http.MethodPost: s.handleCompile})
 	s.mux.Handle("/v1/sweep", methods{http.MethodPost: s.handleSweep})
+	s.mux.Handle("/v1/optimize", methods{http.MethodPost: s.handleOptimize})
 	s.mux.Handle("/v1/jobs", methods{http.MethodPost: s.handleJobCreate, http.MethodGet: s.handleJobList})
 	s.mux.Handle("/v1/jobs/{id}", methods{http.MethodGet: s.handleJobGet, http.MethodDelete: s.handleJobDelete})
 	s.mux.Handle("/v1/networks", methods{http.MethodGet: s.handleNetworks})
@@ -692,6 +705,7 @@ type Stats struct {
 	PlanCache PlanCacheStats `json:"plan_cache"`
 	Jobs      JobStats       `json:"jobs"`
 	Engine    EngineStats    `json:"engine"`
+	Optimize  OptimizeStats  `json:"optimize"`
 
 	// Store reports the persistent plan store's counters; nil when no store
 	// is configured.
@@ -700,6 +714,19 @@ type Stats struct {
 	// Peer reports the fleet tier's counters; nil when no peers are
 	// configured.
 	Peer *PeerStats `json:"peer,omitempty"`
+}
+
+// OptimizeStats are the /v1/optimize surface's counters, across synchronous
+// streams and optimize jobs alike.
+type OptimizeStats struct {
+	// Runs counts admitted optimize searches; PointsEvaluated counts design
+	// points scored across them. Admitted, Evicted and Rejected are the
+	// frontier bookkeeping sums (Dominated = Rejected + Evicted).
+	Runs            uint64 `json:"runs"`
+	PointsEvaluated uint64 `json:"points_evaluated"`
+	Admitted        uint64 `json:"admitted"`
+	Evicted         uint64 `json:"evicted"`
+	Rejected        uint64 `json:"rejected"`
 }
 
 // PeerStats are the fleet tier's counters and configuration.
@@ -796,6 +823,13 @@ func (s *Server) Stats() Stats {
 		},
 		PlanCache: s.plans.stats(),
 		Jobs:      s.jobs.stats(),
+		Optimize: OptimizeStats{
+			Runs:            s.optRuns.Load(),
+			PointsEvaluated: s.optPoints.Load(),
+			Admitted:        s.optAdmitted.Load(),
+			Evicted:         s.optEvicted.Load(),
+			Rejected:        s.optRejected.Load(),
+		},
 		Engine: EngineStats{
 			Searches:         es.Searches,
 			CacheHits:        es.CacheHits,

@@ -247,11 +247,12 @@ var linePool = sync.Pool{New: func() any {
 	return lb
 }}
 
-// write encodes sum as one NDJSON line into the pooled buffer and writes it
-// to w in a single Write call.
-func (lb *lineBuf) write(w io.Writer, sum sweepSummary) error {
+// write encodes v as one NDJSON line into the pooled buffer and writes it
+// to w in a single Write call. Sweep summaries and optimize frontier events
+// share this path.
+func (lb *lineBuf) write(w io.Writer, v any) error {
 	lb.buf.Reset()
-	if err := lb.enc.Encode(sum); err != nil {
+	if err := lb.enc.Encode(v); err != nil {
 		return err
 	}
 	_, err := w.Write(lb.buf.Bytes())

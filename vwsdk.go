@@ -19,6 +19,9 @@
 //     against a reference convolution (Verify, RunOnCrossbar);
 //   - the paper's model zoo (VGG-13, ResNet-18) plus extras;
 //   - a latency/energy estimator (conversion-dominated, per the paper);
+//   - a Pareto-frontier hardware co-design search over array geometry,
+//     per-layer-group array assignment, chip count and peripheral gating
+//     (Optimize, DesignSpace, Frontier);
 //   - generators for every table and figure of the paper's evaluation
 //     (Experiments, ExperimentTableI, ...).
 //
@@ -37,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mapping"
 	"repro/internal/model"
+	"repro/internal/optimize"
 	"repro/internal/pimarray"
 	"repro/internal/server"
 	"repro/internal/tensor"
@@ -515,3 +519,60 @@ type ServerStats = server.Stats
 //
 //	http.ListenAndServe(":8080", vwsdk.NewServer(vwsdk.ServerConfig{}))
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// DesignSpace describes a hardware co-design search space: candidate array
+// geometries (assigned per layer group, so different parts of a network can
+// run on differently sized arrays), chip counts and peripheral-gating
+// settings, all crossed into design points. See optimize.DesignSpace.
+type DesignSpace = optimize.DesignSpace
+
+// Frontier is the outcome of a design-space search: the non-dominated design
+// points under (cycles, energy, area) plus the enumeration counters. See
+// optimize.Frontier.
+type Frontier = optimize.Frontier
+
+// FrontierPoint is one non-dominated design point: its per-group array
+// assignment, chip count, gating setting and metrics.
+type FrontierPoint = optimize.FrontierPoint
+
+// OptimizeEvent is one incremental frontier decision (admit, evict or
+// reject) emitted while a design-space search runs.
+type OptimizeEvent = optimize.Event
+
+// OptimizeMetrics is a design point's score: total cycles, total energy and
+// total cell area.
+type OptimizeMetrics = optimize.Metrics
+
+// Optimizer searches design spaces through a shared Compiler, so every
+// design point's layer searches land in one engine memoization — a (layer,
+// array) cell shared by many design points is searched exactly once. See
+// optimize.Optimizer.
+type Optimizer = optimize.Optimizer
+
+// NewOptimizer returns an Optimizer running its compilations through c; a
+// nil c selects a fresh compiler on a fresh concurrent engine. Share one
+// Optimizer (or its Compiler) across searches to reuse the search cache.
+func NewOptimizer(c *Compiler) *Optimizer { return optimize.New(c) }
+
+// Optimize searches space through a fresh compiler and returns the Pareto
+// frontier. Callers that need cancellation, incremental events or engine
+// sharing should build a NewOptimizer and call its Run method, of which this
+// is the context-free convenience form.
+func Optimize(space DesignSpace) (*Frontier, error) {
+	return optimize.New(nil).Run(context.Background(), space, nil)
+}
+
+// DesignSpaceFromJSON parses a design-space spec (the -optimize file format
+// of cmd/vwsdk and the POST /v1/optimize body; see the README) and validates
+// it.
+func DesignSpaceFromJSON(data []byte) (DesignSpace, error) { return optimize.FromJSON(data) }
+
+// DesignSpaceToJSON serializes a design space as a spec DesignSpaceFromJSON
+// accepts, with the network inlined.
+func DesignSpaceToJSON(s DesignSpace) ([]byte, error) { return s.ToJSON() }
+
+// CompileAxes enumerates compile-option candidates knob by knob — the
+// searchable form of CompileOptions the optimizer's design points are built
+// from. Each unset axis contributes the knob's zero value, so the zero
+// CompileAxes yields exactly the zero CompileOptions. See compile.Axes.
+type CompileAxes = compile.Axes

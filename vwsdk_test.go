@@ -542,3 +542,69 @@ func TestFacadeContextForms(t *testing.T) {
 		t.Error("SearchNetworkParallelContext ignored a cancelled context")
 	}
 }
+
+// TestFacadeOptimize exercises the co-design exports end to end: a spec
+// parsed with DesignSpaceFromJSON, searched with Optimize, yielding a valid
+// frontier whose points all beat each other on some objective; plus the
+// CompileAxes zero-value contract and the serialization round trip.
+func TestFacadeOptimize(t *testing.T) {
+	spec := []byte(`{
+	  "name": "facade",
+	  "network": {"name": "T", "layers": [
+	    {"name": "c1", "iw": 16, "ih": 16, "kw": 3, "kh": 3, "ic": 3, "oc": 8},
+	    {"name": "c2", "iw": 8, "ih": 8, "kw": 3, "kh": 3, "ic": 8, "oc": 16}
+	  ]},
+	  "arrays": ["64x64", "128x128"],
+	  "chips": [1, 2],
+	  "gating": [false, true]
+	}`)
+	space, err := DesignSpaceFromJSON(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := space.Points(); err != nil || n != 8 {
+		t.Fatalf("Points() = %d, %v; want 8", n, err)
+	}
+	f, err := Optimize(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Errorf("frontier invalid: %v", err)
+	}
+	if f.Evaluated != 8 || len(f.Points) < 1 || f.Dominated < 1 {
+		t.Errorf("frontier shape: evaluated=%d points=%d dominated=%d",
+			f.Evaluated, len(f.Points), f.Dominated)
+	}
+
+	// NewOptimizer on a shared compiler reproduces the same frontier.
+	o := NewOptimizer(NewCompiler(nil))
+	var events []OptimizeEvent
+	f2, err := o.Run(context.Background(), space, func(e OptimizeEvent) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Points) != len(f.Points) || len(events) == 0 {
+		t.Errorf("shared-compiler run: %d points (want %d), %d events",
+			len(f2.Points), len(f.Points), len(events))
+	}
+
+	data, err := DesignSpaceToJSON(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DesignSpaceFromJSON(data)
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, data)
+	}
+	if len(back.Arrays) != len(space.Arrays) || back.Network.Name != space.Network.Name {
+		t.Errorf("round trip changed the space: %+v vs %+v", back, space)
+	}
+
+	// The zero CompileAxes enumerates exactly the zero CompileOptions.
+	var axes CompileAxes
+	cands := axes.Candidates()
+	if len(cands) != 1 || cands[0] != (CompileOptions{}) {
+		t.Errorf("zero CompileAxes candidates = %+v, want [zero CompileOptions]", cands)
+	}
+}
